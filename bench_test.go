@@ -1,0 +1,201 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper (see DESIGN.md Sec. 4 for the index). Each macro-benchmark
+// regenerates its artifact at 1/32 scale per iteration; custom metrics
+// report the headline number of the artifact (e.g. GRASP's average
+// speed-up) so `go test -bench` output documents the reproduced shape.
+// Micro-benchmarks at the bottom cover the simulator's hot paths.
+package grasp_test
+
+import (
+	"io"
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/core"
+	"grasp/internal/exp"
+	"grasp/internal/graph"
+	"grasp/internal/ligra"
+	"grasp/internal/mem"
+	"grasp/internal/policy"
+	"grasp/internal/reorder"
+	"grasp/internal/sim"
+	"grasp/internal/stats"
+)
+
+const benchScale = 32
+
+func benchSession() *exp.Session { return exp.NewSession(exp.ScaledConfig(benchScale)) }
+
+// runExperiment benchmarks one experiment end to end (fresh session per
+// iteration: preparation, simulation and formatting are all included, as
+// they are in the paper's methodology).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := exp.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchSession(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+func BenchmarkFig2(b *testing.B)   { runExperiment(b, "fig2") }
+func BenchmarkFig5(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { runExperiment(b, "fig9") }
+func BenchmarkFig10a(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { runExperiment(b, "fig10b") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkHeadline reports the paper's headline metric as a custom bench
+// metric: GRASP's speed-up over RRIP averaged over the high-skew matrix.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSession()
+		var sp []float64
+		for _, app := range apps.Names() {
+			for _, ds := range []string{"lj", "pl", "tw", "kr", "sd"} {
+				base, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "RRIP")
+				if err != nil {
+					b.Fatal(err)
+				}
+				g, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "GRASP")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = append(sp, g.SpeedupPctOver(base))
+			}
+		}
+		b.ReportMetric(stats.GeoMeanSpeedupPct(sp), "grasp-speedup-%")
+	}
+}
+
+// --- Micro-benchmarks: simulator hot paths ---
+
+// benchLLC drives one policy with a pre-generated mixed access pattern.
+func benchLLC(b *testing.B, pinfo sim.PolicyInfo) {
+	const sets, ways = 64, 16
+	cfg := cache.Config{SizeBytes: sets * ways * cache.BlockSize, Ways: ways}
+	llc := cache.MustNew(cfg, pinfo.New(sets, ways))
+	if pinfo.NeedsABRs {
+		abrs := core.NewABRs(cfg.SizeBytes)
+		if err := abrs.SetBounds(0, 1<<24); err != nil {
+			b.Fatal(err)
+		}
+		llc.SetClassifier(abrs)
+	}
+	r := graph.NewRNG(1)
+	accesses := make([]mem.Access, 1<<14)
+	for i := range accesses {
+		accesses[i] = mem.Access{
+			Addr: uint64(r.Uint32n(1<<22)) &^ 63,
+			PC:   r.Uint32n(8),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		llc.Access(accesses[i&(len(accesses)-1)])
+	}
+}
+
+func BenchmarkPolicyLRU(b *testing.B)     { p, _ := sim.PolicyByName("LRU"); benchLLC(b, p) }
+func BenchmarkPolicyRRIP(b *testing.B)    { p, _ := sim.PolicyByName("RRIP"); benchLLC(b, p) }
+func BenchmarkPolicySHiP(b *testing.B)    { p, _ := sim.PolicyByName("SHiP-MEM"); benchLLC(b, p) }
+func BenchmarkPolicyHawkeye(b *testing.B) { p, _ := sim.PolicyByName("Hawkeye"); benchLLC(b, p) }
+func BenchmarkPolicyLeeway(b *testing.B)  { p, _ := sim.PolicyByName("Leeway"); benchLLC(b, p) }
+func BenchmarkPolicyGRASP(b *testing.B)   { p, _ := sim.PolicyByName("GRASP"); benchLLC(b, p) }
+func BenchmarkPolicyXMem(b *testing.B)    { p, _ := sim.PolicyByName("PIN-75"); benchLLC(b, p) }
+
+// BenchmarkOPT measures Belady's algorithm on a synthetic trace.
+func BenchmarkOPT(b *testing.B) {
+	r := graph.NewRNG(2)
+	trace := make([]uint64, 1<<16)
+	for i := range trace {
+		trace[i] = uint64(r.Uint32n(1 << 14))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.SimulateOPT(trace, 64, 16)
+	}
+}
+
+// BenchmarkEdgeMapPull measures the traced pull traversal.
+func BenchmarkEdgeMapPull(b *testing.B) {
+	g := graph.GenZipf(1<<12, 16, 0.75, 3, false)
+	fg := ligra.NewGraph(g)
+	var sink mem.CountingSink
+	t := ligra.NewTracer(&sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg.EdgeMapPull(t, nil, func(dst, src graph.VertexID, _ int32) bool {
+			return false
+		}, ligra.EdgeMapOpts{NoOutput: true})
+	}
+}
+
+// Reordering technique micro-benchmarks (the cost side of Fig. 10a).
+func benchReorder(b *testing.B, name string) {
+	g := graph.GenZipf(1<<13, 16, 0.75, 5, false)
+	tech, err := reorder.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tech.Run(g, reorder.BySum)
+	}
+}
+
+func BenchmarkReorderSort(b *testing.B)    { benchReorder(b, "Sort") }
+func BenchmarkReorderHubSort(b *testing.B) { benchReorder(b, "HubSort") }
+func BenchmarkReorderDBG(b *testing.B)     { benchReorder(b, "DBG") }
+func BenchmarkReorderGorder(b *testing.B)  { benchReorder(b, "Gorder") }
+
+// BenchmarkPageRankNative measures the untraced application kernel.
+func BenchmarkPageRankNative(b *testing.B) {
+	g := graph.GenZipf(1<<13, 16, 0.75, 7, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := apps.NewPR(ligra.NewGraph(g), 1, apps.LayoutMerged)
+		pr.Run(ligra.NewTracer(nil))
+	}
+}
+
+// BenchmarkPageRankSimulated measures the same kernel through the full
+// cache hierarchy (the simulation slowdown factor).
+func BenchmarkPageRankSimulated(b *testing.B) {
+	g := graph.GenZipf(1<<13, 16, 0.75, 7, false)
+	hcfg := exp.ScaledConfig(16).HCfg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg := ligra.NewGraph(g)
+		pr := apps.NewPR(fg, 1, apps.LayoutMerged)
+		h, err := cache.NewHierarchy(hcfg, policy.NewDRRIP(hcfg.LLC.Sets(), hcfg.LLC.Ways), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr.Run(ligra.NewTracer(h))
+	}
+}
+
+// Extra-experiment benchmarks (ablations and the streaming study).
+func BenchmarkAblationRegion(b *testing.B) { runExperiment(b, "ablation-region") }
+func BenchmarkAblationBases(b *testing.B)  { runExperiment(b, "ablation-bases") }
+func BenchmarkAblationSHiP(b *testing.B)   { runExperiment(b, "ablation-ship") }
+func BenchmarkStreaming(b *testing.B)      { runExperiment(b, "streaming") }

@@ -1,0 +1,69 @@
+// Command graspsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	graspsim -exp fig5            # one experiment at full scale
+//	graspsim -exp all -scale 8    # everything at 1/8 scale
+//	graspsim -list                # list experiment ids
+//
+// Experiment ids follow the paper: table1, table4, fig2, fig5, fig6, fig7,
+// fig8, fig9, fig10a, fig10b, fig11, table7, plus the extra "noreorder"
+// study. Results at full scale are recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"grasp/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
+	scale := flag.Uint("scale", 1, "dataset scale divisor (1 = full reproduction scale)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.DefaultConfig()
+	if *scale > 1 {
+		cfg = exp.ScaledConfig(uint32(*scale))
+	}
+	fmt.Printf("# GRASP reproduction — scale 1/%d, LLC %dKB, L1 %dKB, L2 %dKB\n\n",
+		*scale, cfg.HCfg.LLC.SizeBytes>>10, cfg.HCfg.L1.SizeBytes>>10, cfg.HCfg.L2.SizeBytes>>10)
+	session := exp.NewSession(cfg)
+
+	run := func(e exp.Experiment) {
+		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(session, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "graspsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *expID == "all" {
+		for _, e := range exp.All() {
+			run(e)
+		}
+		return
+	}
+	for _, id := range strings.Split(*expID, ",") {
+		e, err := exp.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graspsim:", err)
+			os.Exit(1)
+		}
+		run(e)
+	}
+}

@@ -1,0 +1,67 @@
+// Road-network routing: the adversarial case for skew-based caching.
+// Road networks are nearly regular (every intersection has degree ~4), so
+// there are no hot vertices to protect. This example runs weighted SSSP on
+// a grid-like road network and shows the Fig. 9 robustness result: GRASP
+// stays near the baseline where rigid pinning (PIN-100) loses performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/graph"
+	"grasp/internal/ligra"
+	"grasp/internal/reorder"
+	"grasp/internal/sim"
+)
+
+func main() {
+	// A 128x128 city grid with random travel times on each road segment.
+	base := graph.GenGrid(128, 128)
+	// Re-weight the grid edges with random travel times.
+	edges := base.Edges()
+	r := graph.NewRNG(7)
+	for i := range edges {
+		edges[i].Weight = int32(1 + r.Uint32n(30))
+	}
+	g, err := graph.FromEdges(base.NumVertices(), edges, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := graph.OutSkew(g)
+	fmt.Printf("road network: %v\n", g)
+	fmt.Printf("'hot' intersections: %.0f%% covering %.0f%% of roads (no skew!)\n\n",
+		out.HotVertexPct, out.EdgeCoverPct)
+
+	// Route from the depot (corner) and report a sample shortest time.
+	ss := apps.NewSSSP(ligra.NewGraph(g), 0, apps.LayoutMerged)
+	ss.Run(ligra.NewTracer(nil))
+	dest := g.NumVertices() - 1
+	fmt.Printf("fastest route depot -> opposite corner: %d minutes\n\n", ss.Dist[dest])
+
+	// Cache study: GRASP must stay robust, pinning must not.
+	perm := reorder.DBG(g, reorder.BySum)
+	w := &sim.Workload{Dataset: graph.Dataset{Name: "roads"}, Reorder: "DBG",
+		Graph: reorder.Apply(g, perm), Weighted: true}
+	hcfg := cache.DefaultHierarchyConfig()
+	hcfg.L1.SizeBytes /= 8
+	hcfg.L2.SizeBytes /= 8
+	hcfg.LLC.SizeBytes /= 8
+	baseRes, err := sim.Run(w, sim.Spec{App: "SSSP", Layout: apps.LayoutMerged, Policy: "RRIP", HCfg: hcfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SSSP on the road network (no exploitable skew):")
+	for _, pol := range []string{"GRASP", "PIN-75", "PIN-100"} {
+		res, err := sim.Run(w, sim.Spec{App: "SSSP", Layout: apps.LayoutMerged, Policy: pol, HCfg: hcfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %+6.2f%% vs RRIP (LLC misses %d vs %d)\n",
+			pol, res.SpeedupPctOver(baseRes), res.LLC.Misses, baseRes.LLC.Misses)
+	}
+	fmt.Println("\nGRASP's flexible policies avoid the slowdown rigid pinning causes",
+		"\non skew-free inputs (the paper's Fig. 9 robustness result).")
+}

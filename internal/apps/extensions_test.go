@@ -1,0 +1,160 @@
+package apps
+
+import (
+	"testing"
+
+	"grasp/internal/graph"
+	"grasp/internal/ligra"
+	"grasp/internal/mem"
+)
+
+func TestBFSMatchesReferenceLevels(t *testing.T) {
+	g := graph.GenZipf(500, 8, 0.8, 21, false)
+	b := NewBFS(ligra.NewGraph(g), 0)
+	b.Run(nativeTracer())
+	want := refBFSLevels(g, 0)
+	for v := range want {
+		if b.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, b.Level[v], want[v])
+		}
+	}
+}
+
+func TestBFSParentsFormTree(t *testing.T) {
+	g := graph.GenZipf(400, 8, 0.8, 23, false)
+	b := NewBFS(ligra.NewGraph(g), 0)
+	b.Run(nativeTracer())
+	lvl := refBFSLevels(g, 0)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if lvl[v] < 0 {
+			if b.Parent[v] >= 0 {
+				t.Fatalf("unreachable vertex %d has parent %d", v, b.Parent[v])
+			}
+			continue
+		}
+		if b.Parent[v] < 0 {
+			t.Fatalf("reachable vertex %d has no parent", v)
+		}
+		p := uint32(b.Parent[v])
+		if v == 0 {
+			if p != 0 {
+				t.Fatalf("root parent = %d", p)
+			}
+			continue
+		}
+		// Parent must be exactly one level above and an in-neighbor.
+		if lvl[p] != lvl[v]-1 {
+			t.Fatalf("parent of %d (lvl %d) is %d (lvl %d)", v, lvl[v], p, lvl[p])
+		}
+		found := false
+		for _, u := range g.InNeighbors(v) {
+			if u == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("parent %d of %d is not an in-neighbor", p, v)
+		}
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	g := graph.GenPath(10)
+	b := NewBFS(ligra.NewGraph(g), 0)
+	b.Run(nativeTracer())
+	for v := uint32(0); v < 10; v++ {
+		if b.Level[v] != int32(v) {
+			t.Fatalf("level[%d] = %d, want %d", v, b.Level[v], v)
+		}
+	}
+}
+
+// refCC computes connected components (undirected) by BFS flood fill.
+func refCC(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for v := range label {
+		label[v] = ^uint32(0)
+	}
+	for root := uint32(0); root < n; root++ {
+		if label[root] != ^uint32(0) {
+			continue
+		}
+		// The canonical label is the minimum vertex ID in the component;
+		// flooding from ascending roots guarantees root is that minimum.
+		stack := []uint32{root}
+		label[root] = root
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.OutNeighbors(v) {
+				if label[u] == ^uint32(0) {
+					label[u] = root
+					stack = append(stack, u)
+				}
+			}
+			for _, u := range g.InNeighbors(v) {
+				if label[u] == ^uint32(0) {
+					label[u] = root
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	return label
+}
+
+func TestCCMatchesFloodFill(t *testing.T) {
+	// A graph with several components: disjoint cycles plus isolated
+	// vertices.
+	var edges []graph.Edge
+	for i := uint32(0); i < 10; i++ { // component A: cycle 0..9
+		edges = append(edges, graph.Edge{Src: i, Dst: (i + 1) % 10})
+	}
+	for i := uint32(20); i < 25; i++ { // component B: path 20..25
+		edges = append(edges, graph.Edge{Src: i, Dst: i + 1})
+	}
+	g, err := graph.FromEdges(40, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := NewCC(ligra.NewGraph(g))
+	cc.Run(nativeTracer())
+	want := refCC(g)
+	for v := range want {
+		if cc.Label[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, cc.Label[v], want[v])
+		}
+	}
+}
+
+func TestCCOnRandomGraph(t *testing.T) {
+	g := graph.GenZipf(300, 4, 0.8, 31, false)
+	cc := NewCC(ligra.NewGraph(g))
+	cc.Run(nativeTracer())
+	want := refCC(g)
+	for v := range want {
+		if cc.Label[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, cc.Label[v], want[v])
+		}
+	}
+}
+
+func TestExtendedRegistry(t *testing.T) {
+	g := graph.GenZipf(200, 6, 0.8, 33, true)
+	for _, name := range ExtendedNames() {
+		app, err := New(name, ligra.NewGraph(g), LayoutMerged)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var sink mem.CountingSink
+		app.Run(ligra.NewTracer(&sink))
+		if sink.Reads+sink.Writes == 0 {
+			t.Fatalf("%s: traced no accesses", name)
+		}
+	}
+	if len(ExtendedNames()) != 7 {
+		t.Fatalf("extended names = %v", ExtendedNames())
+	}
+}

@@ -1,0 +1,234 @@
+// Package cache implements the trace-driven cache hierarchy used for the
+// hardware evaluation: small LRU L1/L2 filter caches in front of a shared
+// last-level cache (LLC) with a pluggable replacement policy. This is the
+// substitute for the paper's Sniper-based simulation (DESIGN.md Sec. 2);
+// all evaluated metrics (LLC misses, access classification, memory time)
+// are functions of the access stream and the hierarchy configuration.
+package cache
+
+import (
+	"fmt"
+
+	"grasp/internal/mem"
+)
+
+// BlockBits is log2 of the cache block size (64-byte blocks, as in the
+// paper's Table VI).
+const BlockBits = 6
+
+// BlockSize is the cache block size in bytes.
+const BlockSize = 1 << BlockBits
+
+// BlockAddr converts a byte address to a block address.
+func BlockAddr(addr uint64) uint64 { return addr >> BlockBits }
+
+// Policy is an LLC replacement policy. The LLC invokes OnHit/OnFill/Victim
+// with the set index, way index, and the triggering access (which carries
+// the GRASP reuse hint and the synthetic PC).
+//
+// Victim may return bypass=true to indicate the block should not be
+// allocated at all (used by pinning schemes when no way is evictable, and
+// by Belady OPT for never-reused lines).
+type Policy interface {
+	Name() string
+	// OnHit is called when the access hits in set/way.
+	OnHit(set, way uint32, a mem.Access)
+	// OnFill is called after a missing block is inserted into set/way.
+	OnFill(set, way uint32, a mem.Access)
+	// Victim chooses the way to evict from a full set, or bypasses.
+	Victim(set uint32, a mem.Access) (way uint32, bypass bool)
+	// OnEvict is called before the victim block's tag is replaced. Policies
+	// that learn from evictions (SHiP, Leeway) use it; others may ignore it.
+	OnEvict(set, way uint32)
+}
+
+// AccessObserver is implemented by policies that must see every LLC access
+// in stream order before lookup (Belady OPT tracks its position in the
+// trace; Hawkeye feeds its OPTgen sampler).
+type AccessObserver interface {
+	ObserveAccess(a mem.Access)
+}
+
+// Classifier attaches a reuse hint to an LLC-bound access. GRASP's ABR
+// classification logic (internal/core) implements this; a nil classifier
+// leaves every access with HintDefault, which disables the specialized
+// management exactly as unset ABRs do in the paper.
+type Classifier interface {
+	Classify(addr uint64) mem.Hint
+}
+
+// Stats counts hits and misses at one cache level, with the Fig. 2
+// breakdown of accesses/misses inside vs outside Property Arrays.
+type Stats struct {
+	Hits, Misses         uint64
+	PropHits, PropMisses uint64
+	Bypasses             uint64
+	Evictions            uint64
+	// Writebacks counts evictions of dirty blocks (write-back,
+	// write-allocate semantics): the cache-to-next-level write traffic.
+	Writebacks uint64
+}
+
+// Accesses returns total accesses at the level.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRatio returns the miss ratio, or 0 when there were no accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses())
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	sets, ways uint32
+	setMask    uint64
+	tags       []uint64 // sets*ways, block addresses
+	valid      []bool
+	dirty      []bool
+	policy     Policy
+	classifier Classifier
+	Stats      Stats
+}
+
+// Config describes a cache level geometry.
+type Config struct {
+	SizeBytes uint64
+	Ways      uint32
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() uint32 {
+	return uint32(c.SizeBytes / (BlockSize * uint64(c.Ways)))
+}
+
+// New creates a cache level with the given policy. Size must be a multiple
+// of Ways*BlockSize and the set count must be a power of two.
+func New(cfg Config, p Policy) (*Cache, error) {
+	sets := cfg.Sets()
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a positive power of two", sets)
+	}
+	if cfg.SizeBytes != uint64(sets)*uint64(cfg.Ways)*BlockSize {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d ways of %dB blocks", cfg.SizeBytes, cfg.Ways, BlockSize)
+	}
+	return &Cache{
+		sets: sets, ways: cfg.Ways, setMask: uint64(sets - 1),
+		tags:   make([]uint64, sets*cfg.Ways),
+		valid:  make([]bool, sets*cfg.Ways),
+		dirty:  make([]bool, sets*cfg.Ways),
+		policy: p,
+	}, nil
+}
+
+// MustNew is New, panicking on configuration errors; for tests/tools with
+// static configurations.
+func MustNew(cfg Config, p Policy) *Cache {
+	c, err := New(cfg, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetClassifier installs the GRASP classification logic in front of this
+// level (used for the LLC). Passing nil disables classification.
+func (c *Cache) SetClassifier(cl Classifier) { c.classifier = cl }
+
+// Policy returns the replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// NumSets returns the set count.
+func (c *Cache) NumSets() uint32 { return c.sets }
+
+// NumWays returns the associativity.
+func (c *Cache) NumWays() uint32 { return c.ways }
+
+// SizeBytes returns the capacity in bytes.
+func (c *Cache) SizeBytes() uint64 {
+	return uint64(c.sets) * uint64(c.ways) * BlockSize
+}
+
+// set returns the set index for a block address.
+func (c *Cache) set(block uint64) uint32 { return uint32(block & c.setMask) }
+
+// Access performs one access. It returns true on a hit. On a miss the
+// block is inserted (unless the policy bypasses).
+func (c *Cache) Access(a mem.Access) bool {
+	if c.classifier != nil {
+		a.Hint = c.classifier.Classify(a.Addr)
+	}
+	if obs, ok := c.policy.(AccessObserver); ok {
+		obs.ObserveAccess(a)
+	}
+	block := BlockAddr(a.Addr)
+	set := c.set(block)
+	base := set * c.ways
+	for w := uint32(0); w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			c.Stats.Hits++
+			if a.Property {
+				c.Stats.PropHits++
+			}
+			if a.Write {
+				c.dirty[base+w] = true
+			}
+			c.policy.OnHit(set, w, a)
+			return true
+		}
+	}
+	c.Stats.Misses++
+	if a.Property {
+		c.Stats.PropMisses++
+	}
+	// Fill: prefer an invalid way.
+	for w := uint32(0); w < c.ways; w++ {
+		if !c.valid[base+w] {
+			c.valid[base+w] = true
+			c.tags[base+w] = block
+			c.dirty[base+w] = a.Write
+			c.policy.OnFill(set, w, a)
+			return false
+		}
+	}
+	w, bypass := c.policy.Victim(set, a)
+	if bypass {
+		c.Stats.Bypasses++
+		return false
+	}
+	if w >= c.ways {
+		panic(fmt.Sprintf("cache: policy %s returned invalid victim way %d", c.policy.Name(), w))
+	}
+	c.Stats.Evictions++
+	if c.dirty[base+w] {
+		c.Stats.Writebacks++
+	}
+	c.policy.OnEvict(set, w)
+	c.tags[base+w] = block
+	c.dirty[base+w] = a.Write
+	c.policy.OnFill(set, w, a)
+	return false
+}
+
+// Contains reports whether the block holding addr is cached (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	block := BlockAddr(addr)
+	base := c.set(block) * c.ways
+	for w := uint32(0); w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all blocks and clears statistics. Policy state is NOT
+// reset; construct a new policy for independent runs.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+	c.Stats = Stats{}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import "grasp/internal/mem"
+
+// LRU is the classic least-recently-used replacement policy, used for the
+// L1/L2 filter levels and as the baseline of the Fig. 11 / Table VII
+// experiments. Recency is tracked with a per-block timestamp; the victim
+// is the block with the smallest stamp.
+type LRU struct {
+	stamps []uint64 // sets*ways
+	ways   uint32
+	clock  uint64
+}
+
+// NewLRU creates an LRU policy for a sets x ways cache.
+func NewLRU(sets, ways uint32) *LRU {
+	return &LRU{stamps: make([]uint64, sets*ways), ways: ways}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "LRU" }
+
+// OnHit implements Policy: move to MRU.
+func (p *LRU) OnHit(set, way uint32, _ mem.Access) {
+	p.clock++
+	p.stamps[set*p.ways+way] = p.clock
+}
+
+// OnFill implements Policy: insert at MRU.
+func (p *LRU) OnFill(set, way uint32, _ mem.Access) {
+	p.clock++
+	p.stamps[set*p.ways+way] = p.clock
+}
+
+// Victim implements Policy: evict the least recently used way.
+func (p *LRU) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	base := set * p.ways
+	best := uint32(0)
+	for w := uint32(1); w < p.ways; w++ {
+		if p.stamps[base+w] < p.stamps[base+best] {
+			best = w
+		}
+	}
+	return best, false
+}
+
+// OnEvict implements Policy.
+func (p *LRU) OnEvict(uint32, uint32) {}
+
+// StackPosition returns the recency rank of a way within its set: 0 = MRU,
+// ways-1 = LRU. Exposed for policies built on recency stacks (Leeway) and
+// for tests.
+func (p *LRU) StackPosition(set, way uint32) uint32 {
+	base := set * p.ways
+	mine := p.stamps[base+way]
+	var rank uint32
+	for w := uint32(0); w < p.ways; w++ {
+		if w != way && p.stamps[base+w] > mine {
+			rank++
+		}
+	}
+	return rank
+}

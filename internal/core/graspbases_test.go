@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+	"grasp/internal/policy"
+)
+
+func TestGRASPPLRUProtectsHighReuse(t *testing.T) {
+	const ways = 8
+	p := NewPLRUPolicy(1, ways)
+	c := cache.MustNew(cache.Config{SizeBytes: ways * cache.BlockSize, Ways: ways}, p)
+	// Fill half the set with High-Reuse blocks, then storm with Low-Reuse.
+	for i := uint64(0); i < ways/2; i++ {
+		c.Access(mem.Access{Addr: (1000 + i) << cache.BlockBits, Hint: mem.HintHigh})
+	}
+	for i := uint64(0); i < 200; i++ {
+		c.Access(mem.Access{Addr: i << cache.BlockBits, Hint: mem.HintLow})
+		// Keep the High blocks warm.
+		c.Access(mem.Access{Addr: 1000 << cache.BlockBits, Hint: mem.HintHigh})
+	}
+	kept := 0
+	for i := uint64(0); i < ways/2; i++ {
+		if c.Contains((1000 + i) << cache.BlockBits) {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("GRASP-PLRU kept no High-Reuse blocks under a Low-Reuse storm")
+	}
+}
+
+func TestGRASPPLRULowInsertIsNextVictim(t *testing.T) {
+	p := NewPLRUPolicy(1, 4)
+	c := cache.MustNew(cache.Config{SizeBytes: 4 * cache.BlockSize, Ways: 4}, p)
+	// Warm the set with Default blocks.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(mem.Access{Addr: i << cache.BlockBits})
+	}
+	// A Low-Reuse fill must not disturb the tree: two consecutive
+	// Low-Reuse misses evict each other rather than the Default blocks.
+	c.Access(mem.Access{Addr: 100 << cache.BlockBits, Hint: mem.HintLow})
+	c.Access(mem.Access{Addr: 200 << cache.BlockBits, Hint: mem.HintLow})
+	if c.Contains(100 << cache.BlockBits) {
+		t.Fatal("first Low-Reuse block survived a second Low-Reuse fill")
+	}
+}
+
+func TestGRASPDIPDefaultBehavesLikeDIP(t *testing.T) {
+	// With only Default hints, GRASP-DIP's dueling gives BIP-like thrash
+	// resistance: a cyclic over-capacity loop earns hits that plain LRU
+	// cannot.
+	const sets, ways = 64, 4
+	cfg := cache.Config{SizeBytes: sets * ways * cache.BlockSize, Ways: ways}
+	c := cache.MustNew(cfg, NewDIPPolicy(sets, ways))
+	for rep := 0; rep < 30; rep++ {
+		for i := uint64(0); i < sets*ways*2; i++ {
+			c.Access(mem.Access{Addr: i << cache.BlockBits})
+		}
+	}
+	if c.Stats.Hits == 0 {
+		t.Fatal("GRASP-DIP earned no hits under thrashing; dueling broken")
+	}
+}
+
+func TestGRASPDIPHintSteering(t *testing.T) {
+	p := NewDIPPolicy(1, 4)
+	// High-Reuse fill goes to MRU, Low-Reuse to LRU.
+	p.OnFill(0, 0, mem.Access{Hint: mem.HintHigh})
+	p.OnFill(0, 1, mem.Access{Hint: mem.HintLow})
+	st := p.stack.StackOrder(0)
+	if st[0] != 0 {
+		t.Fatalf("High fill not at MRU: %v", st)
+	}
+	if st[3] != 1 {
+		t.Fatalf("Low fill not at LRU: %v", st)
+	}
+	// Moderate hit moves exactly one position.
+	p.OnFill(0, 2, mem.Access{Hint: mem.HintModerate})
+	before := pos(p.stack.StackOrder(0), 2)
+	p.OnHit(0, 2, mem.Access{Hint: mem.HintModerate})
+	after := pos(p.stack.StackOrder(0), 2)
+	if after != before-1 {
+		t.Fatalf("Moderate hit moved from %d to %d, want one step", before, after)
+	}
+}
+
+func pos(order []uint8, way uint8) int {
+	for i, w := range order {
+		if w == way {
+			return i
+		}
+	}
+	return -1
+}
+
+// All GRASP bases behave sanely on arbitrary hinted traces.
+func TestGRASPBasesFuzz(t *testing.T) {
+	bases := map[string]func(sets, ways uint32) cache.Policy{
+		"GRASP":      func(s, w uint32) cache.Policy { return NewPolicy(s, w, ModeFull) },
+		"GRASP-LRU":  func(s, w uint32) cache.Policy { return NewLRUPolicy(s, w) },
+		"GRASP-PLRU": func(s, w uint32) cache.Policy { return NewPLRUPolicy(s, w) },
+		"GRASP-DIP":  func(s, w uint32) cache.Policy { return NewDIPPolicy(s, w) },
+	}
+	for name, ctor := range bases {
+		ctor := ctor
+		t.Run(name, func(t *testing.T) {
+			f := func(seed uint64, n uint16) bool {
+				r := seed*2654435761 + 1
+				next := func() uint64 {
+					r ^= r << 13
+					r ^= r >> 7
+					r ^= r << 17
+					return r
+				}
+				const sets, ways = 8, 8
+				c := cache.MustNew(cache.Config{SizeBytes: sets * ways * cache.BlockSize, Ways: ways},
+					ctor(sets, ways))
+				length := int(n%1200) + 10
+				for i := 0; i < length; i++ {
+					c.Access(mem.Access{
+						Addr: (next() % 512) << cache.BlockBits,
+						Hint: mem.Hint(next() % 4),
+					})
+				}
+				return c.Stats.Accesses() == uint64(length)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// GRASP over every base must still beat its own base on the canonical
+// hot-vs-thrash pattern.
+func TestAllGRASPBasesProtectHotWorkingSet(t *testing.T) {
+	type pair struct {
+		name  string
+		grasp func(s, w uint32) cache.Policy
+		base  func(s, w uint32) cache.Policy
+	}
+	pairs := []pair{
+		{"RRIP", func(s, w uint32) cache.Policy { return NewPolicy(s, w, ModeFull) },
+			func(s, w uint32) cache.Policy { return policy.NewDRRIP(s, w) }},
+		{"LRU", func(s, w uint32) cache.Policy { return NewLRUPolicy(s, w) },
+			func(s, w uint32) cache.Policy { return cache.NewLRU(s, w) }},
+		{"PLRU", func(s, w uint32) cache.Policy { return NewPLRUPolicy(s, w) },
+			func(s, w uint32) cache.Policy { return policy.NewPLRU(s, w) }},
+		{"DIP", func(s, w uint32) cache.Policy { return NewDIPPolicy(s, w) },
+			func(s, w uint32) cache.Policy { return policy.NewDIP(s, w) }},
+	}
+	const sets, ways = 16, 8
+	cfg := cache.Config{SizeBytes: sets * ways * cache.BlockSize, Ways: ways}
+	abrs := NewABRs(cfg.SizeBytes)
+	if err := abrs.SetBounds(0, 64<<cache.BlockBits); err != nil {
+		t.Fatal(err)
+	}
+	run := func(p cache.Policy, cl cache.Classifier) uint64 {
+		c := cache.MustNew(cfg, p)
+		c.SetClassifier(cl)
+		var hotMisses uint64
+		for rep := 0; rep < 100; rep++ {
+			for i := uint64(0); i < 64; i++ { // hot working set: half capacity
+				if !c.Access(mem.Access{Addr: i << cache.BlockBits}) {
+					hotMisses++
+				}
+			}
+			for i := uint64(0); i < 4*sets*ways; i++ { // cold storm
+				c.Access(mem.Access{Addr: (1 << 20) + (uint64(rep)*4096+i)<<cache.BlockBits})
+			}
+		}
+		return hotMisses
+	}
+	for _, pr := range pairs {
+		g := run(pr.grasp(sets, ways), abrs)
+		b := run(pr.base(sets, ways), nil)
+		if g >= b {
+			t.Errorf("GRASP-%s hot misses %d >= base %d", pr.name, g, b)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// LRUPolicy is GRASP implemented over an LRU base instead of RRIP,
+// demonstrating the paper's claim that "GRASP is not fundamentally
+// dependent on RRIP and can be implemented over many other schemes
+// including, but not limited to, LRU, Pseudo-LRU and DIP" (Sec. III-C).
+//
+// The recency stack is explicit per set so that the specialized insertion
+// positions (MRU / near-LRU / LRU) and the gradual one-step hit promotion
+// have exact analogues of the RRPV manipulations in Table II:
+//
+//	High-Reuse:     insert at MRU, promote to MRU on hit
+//	Moderate-Reuse: insert one above LRU, move one step MRU-ward on hit
+//	Low-Reuse:      insert at LRU, move one step MRU-ward on hit
+//	Default:        insert at MRU, promote to MRU on hit (plain LRU)
+type LRUPolicy struct {
+	// order[set] lists ways from MRU (index 0) to LRU (index ways-1).
+	order [][]uint8
+	ways  uint32
+}
+
+// NewLRUPolicy creates a GRASP-over-LRU policy.
+func NewLRUPolicy(sets, ways uint32) *LRUPolicy {
+	p := &LRUPolicy{order: make([][]uint8, sets), ways: ways}
+	for s := range p.order {
+		p.order[s] = make([]uint8, ways)
+		for w := range p.order[s] {
+			p.order[s][w] = uint8(w)
+		}
+	}
+	return p
+}
+
+var _ cache.Policy = (*LRUPolicy)(nil)
+
+// Name implements cache.Policy.
+func (p *LRUPolicy) Name() string { return "GRASP-LRU" }
+
+// position returns the stack index of way in set (0 = MRU).
+func (p *LRUPolicy) position(set uint32, way uint8) int {
+	for i, w := range p.order[set] {
+		if w == way {
+			return i
+		}
+	}
+	panic("core: way missing from recency stack")
+}
+
+// moveTo relocates way to stack index target.
+func (p *LRUPolicy) moveTo(set uint32, way uint8, target int) {
+	st := p.order[set]
+	cur := p.position(set, way)
+	if cur == target {
+		return
+	}
+	if cur < target {
+		copy(st[cur:], st[cur+1:target+1])
+	} else {
+		copy(st[target+1:cur+1], st[target:cur])
+	}
+	st[target] = way
+}
+
+// OnHit implements cache.Policy.
+func (p *LRUPolicy) OnHit(set, way uint32, a mem.Access) {
+	w := uint8(way)
+	switch a.Hint {
+	case mem.HintModerate, mem.HintLow:
+		if cur := p.position(set, w); cur > 0 {
+			p.moveTo(set, w, cur-1) // one step toward MRU
+		}
+	default: // High-Reuse and Default: straight to MRU
+		p.moveTo(set, w, 0)
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *LRUPolicy) OnFill(set, way uint32, a mem.Access) {
+	w := uint8(way)
+	last := int(p.ways) - 1
+	switch a.Hint {
+	case mem.HintModerate:
+		target := last - 1
+		if target < 0 {
+			target = 0
+		}
+		p.moveTo(set, w, target)
+	case mem.HintLow:
+		p.moveTo(set, w, last)
+	default:
+		p.moveTo(set, w, 0)
+	}
+}
+
+// Victim implements cache.Policy: the LRU way, hint-blind as always.
+func (p *LRUPolicy) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	return uint32(p.order[set][p.ways-1]), false
+}
+
+// OnEvict implements cache.Policy.
+func (p *LRUPolicy) OnEvict(uint32, uint32) {}
+
+// StackOrder returns a copy of the recency stack of a set (tests).
+func (p *LRUPolicy) StackOrder(set uint32) []uint8 {
+	return append([]uint8(nil), p.order[set]...)
+}

@@ -1,0 +1,195 @@
+// Package exp is the experiment harness: every table and figure of the
+// paper's evaluation has a named experiment that regenerates it on the
+// synthetic datasets (see DESIGN.md Sec. 4 for the per-experiment index and
+// EXPERIMENTS.md for recorded results).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/graph"
+	"grasp/internal/sim"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// ScaleDiv divides dataset sizes; 1 = full reproduction scale
+	// (131072 vertices, 256KB LLC). Benchmarks use larger divisors.
+	ScaleDiv uint32
+	// HCfg is the simulated hierarchy. Zero value = default config scaled
+	// to ScaleDiv (the LLC shrinks with the datasets to preserve the
+	// footprint-to-capacity ratio).
+	HCfg cache.HierarchyConfig
+}
+
+// DefaultConfig returns the full reproduction scale.
+func DefaultConfig() Config {
+	return Config{ScaleDiv: 1, HCfg: cache.DefaultHierarchyConfig()}
+}
+
+// ScaledConfig returns a configuration scaled down by div (power of two):
+// datasets are div times smaller and the hierarchy shrinks with them.
+func ScaledConfig(div uint32) Config {
+	h := cache.DefaultHierarchyConfig()
+	shrink := func(c cache.Config) cache.Config {
+		s := c.SizeBytes / uint64(div)
+		min := uint64(c.Ways) * cache.BlockSize * 2
+		if s < min {
+			s = min
+		}
+		return cache.Config{SizeBytes: s, Ways: c.Ways}
+	}
+	h.L1 = shrink(h.L1)
+	h.L2 = shrink(h.L2)
+	h.LLC = shrink(h.LLC)
+	return Config{ScaleDiv: div, HCfg: h}
+}
+
+// Session caches prepared workloads and simulation results so experiments
+// sharing datapoints (e.g. fig5 and fig6) do not repeat work.
+type Session struct {
+	Cfg       Config
+	workloads map[string]*sim.Workload
+	results   map[string]sim.Result
+	traces    map[string]tracePair
+}
+
+type tracePair struct {
+	addrs  []uint64
+	bounds [][2]uint64
+}
+
+// NewSession creates a session.
+func NewSession(cfg Config) *Session {
+	return &Session{Cfg: cfg,
+		workloads: make(map[string]*sim.Workload),
+		results:   make(map[string]sim.Result),
+		traces:    make(map[string]tracePair)}
+}
+
+// LLCTrace returns the recorded LLC access trace and ABR bounds for one
+// (dataset, app) datapoint under DBG reordering, collecting and caching it
+// on first use (used by the OPT experiments, which replay one trace at
+// many LLC sizes).
+func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
+	key := dsName + "|" + app
+	if tp, ok := s.traces[key]; ok {
+		return tp.addrs, tp.bounds, nil
+	}
+	w, err := s.Workload(dsName, "DBG", app == "SSSP")
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs, err := sim.CollectLLCTrace(w, app, apps.LayoutMerged, s.Cfg.HCfg, optTraceCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	bounds, err := sim.ABRBoundsFor(w, app, apps.LayoutMerged)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.traces[key] = tracePair{addrs: addrs, bounds: bounds}
+	return addrs, bounds, nil
+}
+
+// Workload returns the prepared (dataset, reorder) pair, preparing and
+// caching it on first use.
+func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Workload, error) {
+	key := fmt.Sprintf("%s|%s|%v", dsName, reorderName, weighted)
+	if w, ok := s.workloads[key]; ok {
+		return w, nil
+	}
+	ds, err := graph.DatasetByName(dsName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.PrepareWorkload(ds, reorderName, weighted, s.Cfg.ScaleDiv)
+	if err != nil {
+		return nil, err
+	}
+	s.workloads[key] = w
+	return w, nil
+}
+
+// Result returns the metrics of one simulation datapoint, running and
+// caching it on first use.
+func (s *Session) Result(dsName, reorderName, app string, layout apps.Layout, policy string) (sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|%s|%v|%s", dsName, reorderName, app, layout, policy)
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	weighted := app == "SSSP"
+	w, err := s.Workload(dsName, reorderName, weighted)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r, err := sim.Run(w, sim.Spec{App: app, Layout: layout, Policy: policy, HCfg: s.Cfg.HCfg})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.results[key] = r
+	return r, nil
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string // paper artifact id: table1, fig5, ...
+	Title string
+	Run   func(s *Session, w io.Writer) error
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: skew of the graph datasets", Run: runTable1},
+		{ID: "table4", Title: "Table IV: effect of Property Array merging", Run: runTable4},
+		{ID: "fig2", Title: "Fig. 2: LLC accesses and misses inside/outside the Property Array", Run: runFig2},
+		{ID: "fig5", Title: "Fig. 5: LLC miss reduction over RRIP", Run: runFig5},
+		{ID: "fig6", Title: "Fig. 6: speed-up over RRIP", Run: runFig6},
+		{ID: "fig7", Title: "Fig. 7: impact of GRASP features", Run: runFig7},
+		{ID: "fig8", Title: "Fig. 8: pinning-based schemes, high-skew datasets", Run: runFig8},
+		{ID: "fig9", Title: "Fig. 9: low-/no-skew datasets (fr, uni)", Run: runFig9},
+		{ID: "fig10a", Title: "Fig. 10a: net speed-up of reordering techniques (incl. cost)", Run: runFig10a},
+		{ID: "fig10b", Title: "Fig. 10b: GRASP on top of reordering techniques", Run: runFig10b},
+		{ID: "fig11", Title: "Fig. 11: misses eliminated over LRU (RRIP, GRASP, OPT)", Run: runFig11},
+		{ID: "table7", Title: "Table VII: misses eliminated over LRU across LLC sizes", Run: runTable7},
+		{ID: "noreorder", Title: "Extra: prior schemes without vertex reordering (Sec. V-A)", Run: runNoReorder},
+		{ID: "ablation-region", Title: "Extra: sensitivity to the High-Reuse-Region size", Run: runAblationRegion},
+		{ID: "ablation-bases", Title: "Extra: GRASP over LRU/PLRU/DIP base schemes (Sec. III-C)", Run: runAblationBases},
+		{ID: "ablation-ship", Title: "Extra: SHiP-PC vs SHiP-MEM signatures (Sec. II-F)", Run: runAblationSHiP},
+		{ID: "streaming", Title: "Extra: reordering staleness under graph updates (Sec. VI)", Run: runStreaming},
+	}
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q; known: %v", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// highSkewNames returns the five main-evaluation dataset names in paper
+// order.
+func highSkewNames() []string {
+	var out []string
+	for _, d := range graph.HighSkewDatasets() {
+		out = append(out, d.Name)
+	}
+	return out
+}

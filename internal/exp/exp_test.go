@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/stats"
+)
+
+func testSession() *Session { return NewSession(ScaledConfig(16)) }
+
+func TestScaledConfig(t *testing.T) {
+	c := ScaledConfig(16)
+	if c.HCfg.LLC.SizeBytes != (64<<10)/16 {
+		t.Fatalf("scaled LLC = %d", c.HCfg.LLC.SizeBytes)
+	}
+	if c.ScaleDiv != 16 {
+		t.Fatal("scale div lost")
+	}
+	// Tiny divisors clamp to a functional geometry instead of vanishing.
+	if tiny := ScaledConfig(1 << 10); tiny.HCfg.LLC.SizeBytes < 2048 {
+		t.Fatalf("clamp failed: %d", tiny.HCfg.LLC.SizeBytes)
+	}
+	// Extreme divisor clamps to a valid geometry.
+	c2 := ScaledConfig(1 << 20)
+	if c2.HCfg.LLC.Sets() == 0 || c2.HCfg.LLC.Sets()&(c2.HCfg.LLC.Sets()-1) != 0 {
+		t.Fatalf("clamped LLC geometry invalid: %d sets", c2.HCfg.LLC.Sets())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := []string{"table1", "table4", "fig2", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10a", "fig10b", "fig11", "table7", "noreorder",
+		"ablation-region", "ablation-bases", "ablation-ship", "streaming"}
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("%s: incomplete experiment", id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestSessionCachesResults(t *testing.T) {
+	s := testSession()
+	r1, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "RRIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "RRIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LLC.Misses != r2.LLC.Misses {
+		t.Fatal("cached result differs")
+	}
+	if len(s.results) != 1 {
+		t.Fatalf("expected 1 cached result, have %d", len(s.results))
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(testSession(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, ds := range []string{"lj", "pl", "tw", "kr", "sd", "fr", "uni"} {
+		if !strings.Contains(out, ds) {
+			t.Fatalf("table1 missing dataset %s:\n%s", ds, out)
+		}
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	s := testSession()
+	var buf bytes.Buffer
+	if err := runFig2(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PR") {
+		t.Fatalf("fig2 output incomplete:\n%s", buf.String())
+	}
+	// Shape property: Property Array dominates LLC accesses.
+	r, err := s.Result("tw", "Identity", "PR", apps.LayoutMerged, "RRIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := float64(r.LLC.PropHits+r.LLC.PropMisses) / float64(r.LLC.Accesses())
+	if share < 0.5 {
+		t.Fatalf("property access share %.2f, want > 0.5", share)
+	}
+}
+
+func TestFig5ShapeGRASPWins(t *testing.T) {
+	// The headline shape at reduced scale: averaged over the full matrix,
+	// GRASP eliminates misses relative to RRIP and beats Hawkeye.
+	s := testSession()
+	var grasp, hawkeye []float64
+	for _, app := range apps.Names() {
+		for _, ds := range highSkewNames() {
+			base, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "RRIP")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "GRASP")
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "Hawkeye")
+			if err != nil {
+				t.Fatal(err)
+			}
+			grasp = append(grasp, g.MissReductionPctOver(base))
+			hawkeye = append(hawkeye, h.MissReductionPctOver(base))
+		}
+	}
+	if m := stats.Mean(grasp); m <= 0 {
+		t.Fatalf("GRASP average miss reduction %.2f%%, want positive", m)
+	}
+	if stats.Mean(grasp) <= stats.Mean(hawkeye) {
+		t.Fatalf("GRASP (%.2f%%) did not beat Hawkeye (%.2f%%)",
+			stats.Mean(grasp), stats.Mean(hawkeye))
+	}
+}
+
+func TestFig9ShapeGRASPRobust(t *testing.T) {
+	// On the no-skew dataset, GRASP must not cause a large slowdown
+	// (paper: max slowdown 0.1%; at 1/16 scale the skew of the synthetic
+	// datasets is weaker, so we allow 5%), while pinning is expected to do
+	// worse than GRASP on average.
+	s := testSession()
+	var graspMin float64 = 1e9
+	var graspSum, pinSum float64
+	var n int
+	for _, app := range apps.Names() {
+		for _, ds := range []string{"fr", "uni"} {
+			base, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "RRIP")
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "GRASP")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := s.Result(ds, "DBG", app, apps.LayoutMerged, "PIN-100")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := g.SpeedupPctOver(base)
+			graspSum += sp
+			pinSum += p.SpeedupPctOver(base)
+			if sp < graspMin {
+				graspMin = sp
+			}
+			n++
+		}
+	}
+	if graspMin < -5.0 {
+		t.Fatalf("GRASP slowdown %.2f%% on low-skew exceeds robustness bound", graspMin)
+	}
+	if graspSum/float64(n) < pinSum/float64(n) {
+		t.Fatalf("GRASP avg (%.2f%%) below PIN-100 avg (%.2f%%) on low-skew",
+			graspSum/float64(n), pinSum/float64(n))
+	}
+}
+
+func TestOPTStudyShape(t *testing.T) {
+	s := testSession()
+	data, err := runOPTStudy(s, s.Cfg.HCfg.LLC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 25 {
+		t.Fatalf("expected 25 datapoints, got %d", len(data))
+	}
+	var rrip, grasp, opt []float64
+	for _, dp := range data {
+		if dp.opt > dp.lru || dp.opt > dp.rrip || dp.opt > dp.grasp {
+			t.Fatalf("OPT not optimal: %+v", dp)
+		}
+		rrip = append(rrip, elimPct(dp.rrip, dp.lru))
+		grasp = append(grasp, elimPct(dp.grasp, dp.lru))
+		opt = append(opt, elimPct(dp.opt, dp.lru))
+	}
+	// Paper shape: OPT > GRASP > RRIP on average.
+	if !(stats.Mean(opt) > stats.Mean(grasp) && stats.Mean(grasp) > stats.Mean(rrip)) {
+		t.Fatalf("ordering violated: OPT %.1f, GRASP %.1f, RRIP %.1f",
+			stats.Mean(opt), stats.Mean(grasp), stats.Mean(rrip))
+	}
+}
+
+func TestElimPct(t *testing.T) {
+	if elimPct(50, 100) != 50 {
+		t.Fatal("elimPct wrong")
+	}
+	if elimPct(100, 0) != 0 {
+		t.Fatal("elimPct division by zero")
+	}
+}
+
+// Smoke-run the fast experiments end to end.
+func TestExperimentsSmoke(t *testing.T) {
+	s := testSession()
+	for _, id := range []string{"table1", "fig2", "fig9", "streaming", "ablation-bases"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(s, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+func TestAblationRegionPeaksNearPaperDesign(t *testing.T) {
+	// The paper sizes the High Reuse Region at exactly one LLC; very large
+	// regions (4x) must not beat the paper's design point by much — they
+	// reintroduce self-thrashing among "protected" blocks.
+	s := testSession()
+	wl, err := s.Workload("kr", "DBG", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(scale float64) uint64 {
+		r, err := runWithRegionScale(wl, s.Cfg.HCfg, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.LLC.Misses
+	}
+	paper := at(1)
+	huge := at(8)
+	if huge < paper*95/100 {
+		t.Fatalf("8x region (%d misses) markedly beats the paper design (%d)", huge, paper)
+	}
+}
+
+func TestStreamingExperimentOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStreaming(testSession(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Retention") {
+		t.Fatalf("streaming output incomplete:\n%s", buf.String())
+	}
+}
+
+// TestAllExperimentsTinyScale executes every experiment end to end at 1/64
+// scale, exercising each harness body (output correctness is covered by
+// the targeted shape tests; this guards against harness regressions).
+func TestAllExperimentsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	s := NewSession(ScaledConfig(64))
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(s, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if g.Weighted() {
+		t.Fatal("unweighted list parsed as weighted")
+	}
+	if g.OutNeighbors(0)[0] != 1 {
+		t.Fatal("edge 0->1 missing")
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	in := "0 1 7\n1 2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("weighted list parsed as unweighted")
+	}
+	if w := g.OutNeighborWeights(0)[0]; w != 7 {
+		t.Fatalf("weight = %d, want 7", w)
+	}
+}
+
+func TestReadEdgeListSparseIDs(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("5 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("vertices = %d, want 10 (max ID + 1)", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"x 1\n",        // bad src
+		"0 y\n",        // bad dst
+		"0 1 zzz\n",    // bad weight
+		"# only\n%c\n", // comments only
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := GenRMATDefault(8, 4, 77, weighted)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Vertex count may shrink if trailing vertices are isolated; edge
+		// multiset must survive exactly.
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("weighted=%v: edges %d -> %d", weighted, g.NumEdges(), g2.NumEdges())
+		}
+		if g2.Weighted() != weighted {
+			// Unweighted graphs write no weight column; weighted keep it.
+			t.Fatalf("weighted flag changed: %v -> %v", weighted, g2.Weighted())
+		}
+		for v := uint32(0); v < g2.NumVertices(); v++ {
+			a, b := g.OutNeighbors(v), g2.OutNeighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("degree mismatch at %d", v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("neighbor mismatch at %d[%d]", v, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of CSR graphs so generated datasets can be saved by
+// cmd/graphgen and reloaded without regeneration. The format is a simple
+// little-endian container:
+//
+//	magic "GCSR" | version u32 | n u32 | m u64 | flags u32
+//	OutIndex [n+1]u64 | OutEdges [m]u32 | InIndex [n+1]u64 | InEdges [m]u32
+//	(if weighted flag) OutWeights [m]i32 | InWeights [m]i32
+const (
+	magic         = "GCSR"
+	formatVersion = 1
+	flagWeighted  = 1 << 0
+)
+
+// WriteTo serializes the graph. It returns the number of bytes written.
+func (g *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return written, err
+	}
+	written += int64(len(magic))
+	var flags uint32
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	for _, v := range []any{uint32(formatVersion), g.n, g.m, flags,
+		g.OutIndex, g.OutEdges, g.InIndex, g.InEdges} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	if g.Weighted() {
+		if err := put(g.OutWeights); err != nil {
+			return written, err
+		}
+		if err := put(g.InWeights); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by WriteTo.
+func ReadFrom(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr)
+	}
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var version, flags uint32
+	g := &CSR{}
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("graph: unsupported format version %d", version)
+	}
+	if err := get(&g.n); err != nil {
+		return nil, err
+	}
+	if err := get(&g.m); err != nil {
+		return nil, err
+	}
+	if err := get(&flags); err != nil {
+		return nil, err
+	}
+	g.OutIndex = make([]uint64, g.n+1)
+	g.OutEdges = make([]VertexID, g.m)
+	g.InIndex = make([]uint64, g.n+1)
+	g.InEdges = make([]VertexID, g.m)
+	for _, v := range []any{g.OutIndex, g.OutEdges, g.InIndex, g.InEdges} {
+		if err := get(v); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagWeighted != 0 {
+		g.OutWeights = make([]int32, g.m)
+		g.InWeights = make([]int32, g.m)
+		if err := get(g.OutWeights); err != nil {
+			return nil, err
+		}
+		if err := get(g.InWeights); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
+	}
+	return g, nil
+}

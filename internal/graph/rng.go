@@ -1,0 +1,95 @@
+package graph
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** by Blackman & Vigna) used by all graph generators so that
+// datasets are reproducible across runs without importing math/rand's
+// global state. It intentionally implements only what the generators need.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG seeds the generator using splitmix64, as recommended by the
+// xoshiro authors, guaranteeing a well-mixed nonzero state for any seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint32n(n uint32) uint32 {
+	// Lemire's multiply-shift rejection method.
+	v := uint32(r.Uint64())
+	prod := uint64(v) * uint64(n)
+	low := uint32(prod)
+	if low < n {
+		thresh := -n % n
+		for low < thresh {
+			v = uint32(r.Uint64())
+			prod = uint64(v) * uint64(n)
+			low = uint32(prod)
+		}
+	}
+	return uint32(prod >> 32)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 { // power of two
+		return r.Uint64() & (n - 1)
+	}
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *RNG) Intn(n int) int { return int(r.Uint64n(uint64(n))) }
+
+// Perm returns a random permutation of [0, n) as uint32 values
+// (Fisher-Yates).
+func (r *RNG) Perm(n int) []uint32 {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,258 @@
+package ligra
+
+import (
+	"testing"
+
+	"grasp/internal/graph"
+	"grasp/internal/mem"
+)
+
+func TestFrontierSparseDense(t *testing.T) {
+	f := NewFrontierSparse(10, []graph.VertexID{1, 3, 5})
+	if f.Count() != 3 || f.IsDense() || f.IsEmpty() {
+		t.Fatalf("sparse frontier state wrong: %+v", f)
+	}
+	if !f.Contains(3) || f.Contains(2) {
+		t.Fatal("Contains wrong on sparse")
+	}
+	f.ToDense()
+	if !f.IsDense() || f.Count() != 3 {
+		t.Fatal("ToDense lost state")
+	}
+	if !f.Contains(3) || f.Contains(2) {
+		t.Fatal("Contains wrong on dense")
+	}
+	vs := f.Vertices()
+	if len(vs) != 3 || vs[0] != 1 || vs[1] != 3 || vs[2] != 5 {
+		t.Fatalf("Vertices() = %v", vs)
+	}
+}
+
+func TestFrontierAll(t *testing.T) {
+	f := NewFrontierAll(5)
+	if f.Count() != 5 || !f.IsDense() {
+		t.Fatal("all-frontier wrong")
+	}
+	e := NewFrontierEmpty(5)
+	if !e.IsEmpty() || e.NumVertices() != 5 {
+		t.Fatal("empty frontier wrong")
+	}
+}
+
+func TestEdgesIncident(t *testing.T) {
+	c := graph.GenStar(5) // hub 0: out-degree 4; leaves: 1 each
+	f := NewFrontierSparse(5, []graph.VertexID{0})
+	if got := f.EdgesIncident(c); got != 4 {
+		t.Fatalf("EdgesIncident = %d, want 4", got)
+	}
+	f.ToDense()
+	if got := f.EdgesIncident(c); got != 4 {
+		t.Fatalf("dense EdgesIncident = %d, want 4", got)
+	}
+}
+
+func TestNewGraphRegistersArrays(t *testing.T) {
+	c := graph.GenPath(10) // weighted
+	fg := NewGraph(c)
+	for _, a := range []*mem.Array{fg.VtxIn, fg.VtxOut, fg.EdgIn, fg.EdgOut,
+		fg.WgtIn, fg.WgtOut, fg.FrontA, fg.FrontB, fg.FrontS} {
+		if a == nil {
+			t.Fatal("missing registered array")
+		}
+		if a.Property {
+			t.Fatalf("framework array %s must not be a Property Array", a.Name)
+		}
+	}
+	p := fg.RegisterProperty("x", 8)
+	if !p.Property {
+		t.Fatal("RegisterProperty must mark Property")
+	}
+	if p.Len != 10 {
+		t.Fatalf("property length = %d, want 10", p.Len)
+	}
+	// Unweighted graph: no weight arrays.
+	cu := graph.GenUniform(10, 2, 1, false)
+	fu := NewGraph(cu)
+	if fu.WgtIn != nil || fu.WgtOut != nil {
+		t.Fatal("unweighted graph registered weight arrays")
+	}
+}
+
+// pullSum asserts pull semantics: every (dst, src in-edge) visited once.
+func TestEdgeMapPullVisitsAllInEdges(t *testing.T) {
+	c := graph.GenZipf(100, 5, 0.7, 3, false)
+	fg := NewGraph(c)
+	tr := NewTracer(nil)
+	visits := make(map[[2]uint32]int)
+	fg.EdgeMapPull(tr, nil, func(dst, src graph.VertexID, _ int32) bool {
+		visits[[2]uint32{dst, src}]++
+		return false
+	}, EdgeMapOpts{NoOutput: true})
+	var total int
+	for _, n := range visits {
+		total += n
+	}
+	if uint64(total) != c.NumEdges() {
+		t.Fatalf("pull visited %d edge instances, want %d", total, c.NumEdges())
+	}
+}
+
+func TestEdgeMapPullFrontierFilter(t *testing.T) {
+	// Star graph: frontier = {0}; pulling with frontier check must apply
+	// only edges whose source is 0.
+	c := graph.GenStar(6)
+	fg := NewGraph(c)
+	front := NewFrontierSparse(6, []graph.VertexID{0})
+	var applied int
+	fg.EdgeMapPull(NewTracer(nil), front, func(dst, src graph.VertexID, _ int32) bool {
+		if src != 0 {
+			t.Fatalf("pull applied src %d not in frontier", src)
+		}
+		applied++
+		return true
+	}, EdgeMapOpts{CheckFrontier: true})
+	if applied != 5 {
+		t.Fatalf("applied %d, want 5 (one per leaf)", applied)
+	}
+}
+
+func TestEdgeMapPullEarlyExit(t *testing.T) {
+	// Complete graph: with EarlyExit, each destination applies exactly once.
+	c := graph.GenComplete(6)
+	fg := NewGraph(c)
+	per := make(map[uint32]int)
+	fg.EdgeMapPull(NewTracer(nil), nil, func(dst, src graph.VertexID, _ int32) bool {
+		per[dst]++
+		return true
+	}, EdgeMapOpts{EarlyExit: true})
+	for v, n := range per {
+		if n != 1 {
+			t.Fatalf("dst %d applied %d times with EarlyExit", v, n)
+		}
+	}
+	if len(per) != 6 {
+		t.Fatalf("only %d destinations processed", len(per))
+	}
+}
+
+func TestEdgeMapPullCond(t *testing.T) {
+	c := graph.GenComplete(4)
+	fg := NewGraph(c)
+	seen := make(map[uint32]bool)
+	fg.EdgeMapPull(NewTracer(nil), nil, func(dst, src graph.VertexID, _ int32) bool {
+		seen[dst] = true
+		return false
+	}, EdgeMapOpts{NoOutput: true, Cond: func(v graph.VertexID) bool { return v%2 == 0 }})
+	if seen[1] || seen[3] || !seen[0] || !seen[2] {
+		t.Fatalf("cond filter broken: %v", seen)
+	}
+}
+
+func TestEdgeMapPushVisitsFrontierOutEdges(t *testing.T) {
+	c := graph.GenZipf(100, 5, 0.7, 4, false)
+	fg := NewGraph(c)
+	front := NewFrontierSparse(100, []graph.VertexID{3, 7})
+	var visited uint64
+	fg.EdgeMapPush(NewTracer(nil), front, func(src, dst graph.VertexID, _ int32) bool {
+		if src != 3 && src != 7 {
+			t.Fatalf("push from non-frontier src %d", src)
+		}
+		visited++
+		return false
+	}, EdgeMapOpts{})
+	want := uint64(c.OutDegree(3)) + uint64(c.OutDegree(7))
+	if visited != want {
+		t.Fatalf("push visited %d, want %d", visited, want)
+	}
+}
+
+func TestEdgeMapPushBuildsFrontier(t *testing.T) {
+	c := graph.GenPath(5)
+	fg := NewGraph(c)
+	front := NewFrontierSparse(5, []graph.VertexID{0})
+	out := fg.EdgeMapPush(NewTracer(nil), front, func(src, dst graph.VertexID, _ int32) bool {
+		return true
+	}, EdgeMapOpts{})
+	if out.Count() != 1 || !out.Contains(1) {
+		t.Fatalf("push output frontier wrong: %v", out.Vertices())
+	}
+}
+
+func TestEdgeMapDirectionSwitch(t *testing.T) {
+	c := graph.GenZipf(200, 10, 0.7, 9, false)
+	fg := NewGraph(c)
+	// Tiny frontier: must choose push.
+	small := NewFrontierSparse(200, []graph.VertexID{0})
+	_, usedPull := fg.EdgeMap(NewTracer(nil), small,
+		func(d, s graph.VertexID, _ int32) bool { return false },
+		func(s, d graph.VertexID, _ int32) bool { return false }, EdgeMapOpts{NoOutput: true})
+	if usedPull && small.EdgesIncident(c)+1 <= c.NumEdges()/DirectionThresholdDenom {
+		t.Fatal("EdgeMap chose pull for a tiny frontier")
+	}
+	// Full frontier: must choose pull.
+	all := NewFrontierAll(200)
+	_, usedPull = fg.EdgeMap(NewTracer(nil), all,
+		func(d, s graph.VertexID, _ int32) bool { return false },
+		func(s, d graph.VertexID, _ int32) bool { return false }, EdgeMapOpts{NoOutput: true})
+	if !usedPull {
+		t.Fatal("EdgeMap chose push for the full frontier")
+	}
+}
+
+func TestVertexMap(t *testing.T) {
+	f := NewFrontierSparse(10, []graph.VertexID{2, 4})
+	var got []uint32
+	VertexMap(f, func(v graph.VertexID) { got = append(got, v) })
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("VertexMap sparse visited %v", got)
+	}
+	f.ToDense()
+	got = nil
+	VertexMap(f, func(v graph.VertexID) { got = append(got, v) })
+	if len(got) != 2 {
+		t.Fatalf("VertexMap dense visited %v", got)
+	}
+}
+
+func TestTracerEmitsFrameworkAccesses(t *testing.T) {
+	c := graph.GenPath(50)
+	fg := NewGraph(c)
+	var rec mem.Recorder
+	tr := NewTracer(&rec)
+	fg.EdgeMapPull(tr, nil, func(dst, src graph.VertexID, _ int32) bool {
+		return false
+	}, EdgeMapOpts{NoOutput: true})
+	if len(rec.Trace) == 0 {
+		t.Fatal("no framework accesses emitted")
+	}
+	// Pull over in-edges reads the vertex index array, edge array and
+	// weight array (path graphs are weighted).
+	sawVtx, sawEdge, sawWgt := false, false, false
+	for _, a := range rec.Trace {
+		switch {
+		case a.Addr >= fg.VtxIn.Base && a.Addr < fg.VtxIn.End():
+			sawVtx = true
+		case a.Addr >= fg.EdgIn.Base && a.Addr < fg.EdgIn.End():
+			sawEdge = true
+		case a.Addr >= fg.WgtIn.Base && a.Addr < fg.WgtIn.End():
+			sawWgt = true
+		}
+		if a.Property {
+			t.Fatal("framework access marked Property")
+		}
+	}
+	if !sawVtx || !sawEdge || !sawWgt {
+		t.Fatalf("missing framework arrays in trace: vtx=%v edge=%v wgt=%v", sawVtx, sawEdge, sawWgt)
+	}
+}
+
+func TestNilTracerIsSilent(t *testing.T) {
+	tr := NewTracer(nil)
+	as := mem.NewAddressSpace()
+	a := as.Register("x", 8, 4, false)
+	// Must not panic.
+	tr.Read(a, 0, 0)
+	tr.Write(a, 1, 0)
+	tr.ReadOff(a, 2, 4, 0)
+	tr.WriteOff(a, 3, 4, 0)
+}

@@ -1,0 +1,88 @@
+package policy
+
+import "grasp/internal/mem"
+
+// DIP is Dynamic Insertion Policy [Qureshi et al., ISCA'07]: set dueling
+// between traditional LRU insertion and Bimodal Insertion (BIP — insert at
+// LRU position except 1/32 of the time). Included because the paper lists
+// DIP among the base schemes GRASP can augment.
+type DIP struct {
+	stamps  []uint64
+	sets    uint32
+	ways    uint32
+	clock   uint64
+	psel    int32
+	counter uint64
+}
+
+// NewDIP creates a DIP policy.
+func NewDIP(sets, ways uint32) *DIP {
+	return &DIP{stamps: make([]uint64, sets*ways), sets: sets, ways: ways}
+}
+
+// Name implements cache.Policy.
+func (p *DIP) Name() string { return "DIP" }
+
+// OnHit implements cache.Policy: promote to MRU.
+func (p *DIP) OnHit(set, way uint32, _ mem.Access) {
+	p.clock++
+	p.stamps[set*p.ways+way] = p.clock
+}
+
+func (p *DIP) leader(set uint32) int {
+	period := uint32(duelPeriod)
+	if p.sets < period {
+		period = p.sets
+	}
+	switch set % period {
+	case 0:
+		return +1 // LRU-insertion leader
+	case period / 2:
+		return -1 // BIP leader
+	}
+	return 0
+}
+
+// OnFill implements cache.Policy.
+func (p *DIP) OnFill(set, way uint32, _ mem.Access) {
+	useLRUIns := p.psel >= 0
+	switch p.leader(set) {
+	case +1:
+		useLRUIns = true
+		if p.psel > -pselMax {
+			p.psel--
+		}
+	case -1:
+		useLRUIns = false
+		if p.psel < pselMax {
+			p.psel++
+		}
+	}
+	p.clock++
+	if useLRUIns {
+		p.stamps[set*p.ways+way] = p.clock // MRU insertion
+		return
+	}
+	// BIP: insert at LRU except 1/32 of fills.
+	p.counter++
+	if p.counter%brripEpsilon == 0 {
+		p.stamps[set*p.ways+way] = p.clock
+	} else {
+		p.stamps[set*p.ways+way] = 0 // LRU position
+	}
+}
+
+// Victim implements cache.Policy: least recent stamp.
+func (p *DIP) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	base := set * p.ways
+	best := uint32(0)
+	for w := uint32(1); w < p.ways; w++ {
+		if p.stamps[base+w] < p.stamps[base+best] {
+			best = w
+		}
+	}
+	return best, false
+}
+
+// OnEvict implements cache.Policy.
+func (p *DIP) OnEvict(uint32, uint32) {}

@@ -1,0 +1,215 @@
+package policy
+
+import (
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// Hawkeye [Jain & Lin, ISCA'16] learns from Belady's optimal algorithm:
+// a sampler replays recent accesses to a subset of sets through OPTgen to
+// decide whether OPT *would have* cached each block, and trains a PC-indexed
+// predictor accordingly. Predicted cache-friendly blocks insert at RRPV 0
+// and age gradually; predicted cache-averse blocks insert at distant RRPV
+// and — crucially for the paper's analysis — are demoted rather than
+// promoted when they hit, which is why Hawkeye underperforms on graph
+// analytics: hot and cold vertices share the PC, the predictor settles on
+// cache-averse, and hits to hot vertices get thrown away (Sec. V-A).
+type Hawkeye struct {
+	meta *RRIPMeta
+	ways uint32
+
+	// Per-block state (the storage-intensive metadata GRASP avoids).
+	insertPC []uint32
+	friendly []bool
+
+	// PC predictor: 3-bit saturating counters.
+	pred map[uint32]uint8
+
+	// OPTgen sampler state for sampled sets.
+	samplers map[uint32]*optgenSet
+}
+
+const (
+	hawkeyeSampleEvery = 8   // sample every 8th set
+	optgenWindow       = 128 // time quanta tracked per sampled set
+	hawkeyePredMax     = 7
+	hawkeyePredInit    = 4 // weakly cache-friendly
+)
+
+type optgenSet struct {
+	clock     uint64
+	occupancy [optgenWindow]uint8
+	last      map[uint64]optgenEntry // block -> last access
+	capacity  uint8
+}
+
+type optgenEntry struct {
+	t  uint64
+	pc uint32
+}
+
+// NewHawkeye creates a Hawkeye policy.
+func NewHawkeye(sets, ways uint32) *Hawkeye {
+	return &Hawkeye{
+		meta:     NewRRIPMeta(sets, ways),
+		ways:     ways,
+		insertPC: make([]uint32, sets*ways),
+		friendly: make([]bool, sets*ways),
+		pred:     make(map[uint32]uint8),
+		samplers: make(map[uint32]*optgenSet),
+	}
+}
+
+var _ cache.Policy = (*Hawkeye)(nil)
+var _ cache.AccessObserver = (*Hawkeye)(nil)
+
+// Name implements cache.Policy.
+func (p *Hawkeye) Name() string { return "Hawkeye" }
+
+func (p *Hawkeye) predictFriendly(pc uint32) bool {
+	c, ok := p.pred[pc]
+	if !ok {
+		return hawkeyePredInit >= 4
+	}
+	return c >= 4
+}
+
+func (p *Hawkeye) train(pc uint32, up bool) {
+	c, ok := p.pred[pc]
+	if !ok {
+		c = hawkeyePredInit
+	}
+	if up {
+		if c < hawkeyePredMax {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	p.pred[pc] = c
+}
+
+// ObserveAccess implements cache.AccessObserver: feed the OPTgen sampler.
+// The set index is derived exactly as the cache derives it; only sampled
+// sets carry sampler state.
+func (p *Hawkeye) ObserveAccess(a mem.Access) {
+	block := cache.BlockAddr(a.Addr)
+	nsets := uint32(len(p.meta.rrpv)) / p.ways
+	set := uint32(block & uint64(nsets-1))
+	if set%hawkeyeSampleEvery != 0 {
+		return
+	}
+	s, ok := p.samplers[set]
+	if !ok {
+		s = &optgenSet{last: make(map[uint64]optgenEntry), capacity: uint8(p.ways)}
+		p.samplers[set] = s
+	}
+	now := s.clock
+	s.occupancy[now%optgenWindow] = 0
+	if e, seen := s.last[block]; seen {
+		age := now - e.t
+		if age > 0 && age < optgenWindow {
+			// Would OPT have kept the block across [e.t, now)?
+			fits := true
+			for t := e.t; t < now; t++ {
+				if s.occupancy[t%optgenWindow] >= s.capacity {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				for t := e.t; t < now; t++ {
+					s.occupancy[t%optgenWindow]++
+				}
+			}
+			p.train(e.pc, fits)
+		} else if age >= optgenWindow {
+			// Interval longer than the sampler window: OPT would not
+			// have kept it within observable history.
+			p.train(e.pc, false)
+		}
+	}
+	s.last[block] = optgenEntry{t: now, pc: a.PC}
+	s.clock++
+	// Bound the history map: drop entries older than the window.
+	if len(s.last) > 4*optgenWindow {
+		for b, e := range s.last {
+			if now-e.t >= optgenWindow {
+				delete(s.last, b)
+			}
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *Hawkeye) OnHit(set, way uint32, a mem.Access) {
+	i := set*p.ways + way
+	if p.predictFriendly(a.PC) {
+		p.meta.Set(set, way, RRPVNear)
+		p.friendly[i] = true
+	} else {
+		// Cache-averse prediction: prioritize for eviction even on a hit.
+		p.meta.Set(set, way, RRPVMax)
+		p.friendly[i] = false
+	}
+	p.insertPC[i] = a.PC
+}
+
+// OnFill implements cache.Policy.
+func (p *Hawkeye) OnFill(set, way uint32, a mem.Access) {
+	i := set*p.ways + way
+	p.insertPC[i] = a.PC
+	if p.predictFriendly(a.PC) {
+		p.friendly[i] = true
+		p.meta.Set(set, way, RRPVNear)
+		// Age the other cache-friendly blocks so that old friendly blocks
+		// eventually become evictable.
+		base := set * p.ways
+		for w := uint32(0); w < p.ways; w++ {
+			if w == way {
+				continue
+			}
+			j := base + w
+			if p.friendly[j] {
+				if v := p.meta.Get(set, w); v < RRPVLong {
+					p.meta.Set(set, w, v+1)
+				}
+			}
+		}
+	} else {
+		p.friendly[i] = false
+		p.meta.Set(set, way, RRPVMax)
+	}
+}
+
+// Victim implements cache.Policy: evict a cache-averse block (RRPV max) if
+// one exists, otherwise the oldest cache-friendly block; evicting a
+// friendly block is evidence of a misprediction, so its PC is detrained.
+func (p *Hawkeye) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	base := set * p.ways
+	for w := uint32(0); w < p.ways; w++ {
+		if p.meta.Get(set, w) == RRPVMax {
+			return w, false
+		}
+	}
+	best := uint32(0)
+	for w := uint32(1); w < p.ways; w++ {
+		if p.meta.Get(set, w) > p.meta.Get(set, best) {
+			best = w
+		}
+	}
+	p.train(p.insertPC[base+best], false)
+	return best, false
+}
+
+// OnEvict implements cache.Policy.
+func (p *Hawkeye) OnEvict(uint32, uint32) {}
+
+// PredictorSnapshot returns a copy of the PC predictor (tests/inspection).
+func (p *Hawkeye) PredictorSnapshot() map[uint32]uint8 {
+	out := make(map[uint32]uint8, len(p.pred))
+	for k, v := range p.pred {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package policy
+
+import (
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// Leeway [Faldu & Grot, PACT'17] is a dead-block predictor built on the
+// Live Distance metric: the deepest LRU-stack position at which a block
+// receives a hit during its residency. A PC-indexed table predicts each
+// block's live distance at fill time; a block whose stack position exceeds
+// its predicted live distance is considered dead and becomes the preferred
+// victim. Two table-update policies with different aggressiveness are
+// selected by set dueling (Leeway's "reuse-aware" adaptive policies):
+//
+//   - NRU-friendly (conservative): grow predictions immediately to the
+//     observed live distance, shrink only after repeated smaller
+//     observations — conservative in declaring blocks dead.
+//   - MRU-friendly (aggressive): shrink immediately, grow with hysteresis.
+//
+// The conservative variant keeps Leeway's behaviour close to the base
+// replacement scheme under variable reuse — exactly the property the paper
+// credits for Leeway avoiding large slowdowns on graph analytics.
+type Leeway struct {
+	stamps []uint64
+	ways   uint32
+	clock  uint64
+
+	ld        []uint8 // predicted live distance per block
+	maxHitPos []uint8 // deepest stack position hit so far (0xff = no hit)
+	pc        []uint32
+
+	table map[uint32]*ldEntry
+	psel  int32
+
+	// base provides the underlying thrash-resistant replacement scheme:
+	// when no block is predicted dead, Leeway behaves exactly like its
+	// base (the paper evaluates Leeway against an RRIP baseline and finds
+	// it tracks the base closely; a plain-LRU fallback would instead
+	// forfeit RRIP's thrash resistance entirely).
+	base *DRRIP
+}
+
+type ldEntry struct {
+	ld       uint8
+	downVote uint8 // hysteresis for the conservative policy
+	upVote   uint8 // hysteresis for the aggressive policy
+}
+
+const (
+	noHit = 0xff
+	// ldHysteresis controls how many successive smaller observations are
+	// needed before a prediction shrinks under the conservative policy
+	// (and grows under the aggressive one). A large value keeps Leeway's
+	// behaviour close to the base scheme under variable reuse — the
+	// property Sec. V-A credits for Leeway avoiding blowups on graphs.
+	ldHysteresis = 8
+	// leewayPselInit biases the duel toward the conservative policy until
+	// there is sustained evidence the aggressive one is safe.
+	leewayPselInit = 256
+)
+
+// NewLeeway creates a Leeway policy.
+func NewLeeway(sets, ways uint32) *Leeway {
+	n := sets * ways
+	l := &Leeway{
+		stamps:    make([]uint64, n),
+		ways:      ways,
+		ld:        make([]uint8, n),
+		maxHitPos: make([]uint8, n),
+		pc:        make([]uint32, n),
+		table:     make(map[uint32]*ldEntry),
+		psel:      leewayPselInit,
+		base:      NewDRRIP(sets, ways),
+	}
+	for i := range l.maxHitPos {
+		l.maxHitPos[i] = noHit
+	}
+	return l
+}
+
+var _ cache.Policy = (*Leeway)(nil)
+
+// Name implements cache.Policy.
+func (p *Leeway) Name() string { return "Leeway" }
+
+// stackPos computes the recency rank of way within its set (0 = MRU).
+func (p *Leeway) stackPos(set, way uint32) uint8 {
+	base := set * p.ways
+	mine := p.stamps[base+way]
+	var rank uint8
+	for w := uint32(0); w < p.ways; w++ {
+		if w != way && p.stamps[base+w] > mine {
+			rank++
+		}
+	}
+	return rank
+}
+
+// OnHit implements cache.Policy: record the live distance sample, promote,
+// and grow the predictor immediately when a hit lands deeper than the
+// current prediction. Training on hits (not only evictions) prevents the
+// self-fulfilling spiral where a PC seeded with a small live distance has
+// its blocks evicted before they can demonstrate deeper reuse.
+func (p *Leeway) OnHit(set, way uint32, _ mem.Access) {
+	i := set*p.ways + way
+	pos := p.stackPos(set, way)
+	if p.maxHitPos[i] == noHit || pos > p.maxHitPos[i] {
+		p.maxHitPos[i] = pos
+	}
+	if e, ok := p.table[p.pc[i]]; ok && pos > e.ld {
+		e.ld = pos
+		e.downVote = 0
+	}
+	// The block itself is no longer dead at its new position.
+	if pos > p.ld[i] {
+		p.ld[i] = pos
+	}
+	p.clock++
+	p.stamps[i] = p.clock
+	p.base.OnHit(set, way, mem.Access{})
+}
+
+// OnFill implements cache.Policy: look up the predicted live distance.
+func (p *Leeway) OnFill(set, way uint32, a mem.Access) {
+	i := set*p.ways + way
+	p.clock++
+	p.stamps[i] = p.clock
+	p.maxHitPos[i] = noHit
+	p.pc[i] = a.PC
+	if e, ok := p.table[a.PC]; ok {
+		p.ld[i] = e.ld
+	} else {
+		p.ld[i] = uint8(p.ways - 1) // unknown PC: maximally conservative
+	}
+	p.base.OnFill(set, way, a)
+}
+
+func (p *Leeway) leader(set uint32) int {
+	switch set % duelPeriod {
+	case 0:
+		return +1 // conservative leader
+	case duelPeriod / 2:
+		return -1 // aggressive leader
+	}
+	return 0
+}
+
+// Victim implements cache.Policy: prefer the dead block deepest in the
+// stack; if no block is predicted dead, fall back to the base scheme.
+func (p *Leeway) Victim(set uint32, a mem.Access) (uint32, bool) {
+	base := set * p.ways
+	bestDead, bestDeadPos := int32(-1), uint8(0)
+	for w := uint32(0); w < p.ways; w++ {
+		i := base + w
+		pos := p.stackPos(set, w)
+		if pos > p.ld[i] && pos >= bestDeadPos {
+			// Dead: deeper than its live distance.
+			if int32(w) != bestDead {
+				bestDead, bestDeadPos = int32(w), pos
+			}
+		}
+	}
+	if bestDead >= 0 {
+		return uint32(bestDead), false
+	}
+	return p.base.Victim(set, a)
+}
+
+// OnEvict implements cache.Policy: train the live-distance table with the
+// observed live distance of the evicted block.
+func (p *Leeway) OnEvict(set, way uint32) {
+	i := set*p.ways + way
+	observed := uint8(0)
+	if p.maxHitPos[i] != noHit {
+		observed = p.maxHitPos[i]
+	}
+	pcv := p.pc[i]
+	e, ok := p.table[pcv]
+	if !ok {
+		// First observation for this PC seeds the predictor directly.
+		p.table[pcv] = &ldEntry{ld: observed}
+		p.maxHitPos[i] = noHit
+		return
+	}
+	conservative := p.psel >= 0
+	switch p.leader(set) {
+	case +1:
+		conservative = true
+		// A miss-driven eviction in a conservative leader that kept a dead
+		// block too long votes for the aggressive policy.
+		if observed == 0 && e.ld > 0 && p.psel > -pselMax {
+			p.psel--
+		}
+	case -1:
+		conservative = false
+		if observed > e.ld && p.psel < pselMax {
+			p.psel++
+		}
+	}
+	if conservative {
+		// Grow fast, shrink with hysteresis.
+		if observed >= e.ld {
+			e.ld = observed
+			e.downVote = 0
+		} else {
+			e.downVote++
+			if e.downVote >= ldHysteresis {
+				e.ld--
+				e.downVote = 0
+			}
+		}
+	} else {
+		// Shrink fast, grow with hysteresis.
+		if observed <= e.ld {
+			e.ld = observed
+			e.upVote = 0
+		} else {
+			e.upVote++
+			if e.upVote >= ldHysteresis {
+				e.ld++
+				e.upVote = 0
+			}
+		}
+	}
+	// Reset per-block state; the way is about to be refilled.
+	p.maxHitPos[i] = noHit
+}
+
+// TableSnapshot returns the predicted live distance per PC (tests).
+func (p *Leeway) TableSnapshot() map[uint32]uint8 {
+	out := make(map[uint32]uint8, len(p.table))
+	for k, v := range p.table {
+		out[k] = v.ld
+	}
+	return out
+}

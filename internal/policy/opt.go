@@ -1,0 +1,97 @@
+package policy
+
+import "math"
+
+// Belady's optimal replacement (OPT) [Belady, IBM Sys J 1966], used as the
+// offline upper bound in the paper's Sec. V-D: given the full future access
+// trace, always evict the block whose next use is farthest away, and bypass
+// a missing block entirely when its own next use is farther than every
+// cached block's (the bypass-capable MIN variant used by Hawkeye's OPTgen,
+// which minimizes misses for demand caches).
+//
+// OPT is not a cache.Policy — it is a standalone trace simulator, exactly
+// as the paper applies it: "we generate the traces of LLC accesses ... We
+// apply OPT on each trace for five different LLC sizes."
+
+// OPTResult reports the outcome of an OPT simulation.
+type OPTResult struct {
+	Hits, Misses uint64
+}
+
+// Accesses returns the trace length.
+func (r OPTResult) Accesses() uint64 { return r.Hits + r.Misses }
+
+const never = math.MaxInt64
+
+// SimulateOPT runs Belady's algorithm over a trace of block addresses for
+// a cache with the given geometry (sets must be a power of two). Each set
+// is an independent fully-associative-within-set Belady cache, matching
+// the hardware set mapping.
+func SimulateOPT(blocks []uint64, sets, ways uint32) OPTResult {
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("policy: OPT set count must be a positive power of two")
+	}
+	mask := uint64(sets - 1)
+
+	// Pass 1: next-use chain. nextUse[i] = index of the next access to the
+	// same block after i, or never.
+	nextUse := make([]int64, len(blocks))
+	last := make(map[uint64]int64, 1<<16)
+	for i := len(blocks) - 1; i >= 0; i-- {
+		b := blocks[i]
+		if j, ok := last[b]; ok {
+			nextUse[i] = j
+		} else {
+			nextUse[i] = never
+		}
+		last[b] = int64(i)
+	}
+
+	// Pass 2: per-set Belady simulation. Each set keeps its resident
+	// blocks with their next-use times.
+	type line struct {
+		block uint64
+		next  int64
+	}
+	setsState := make([][]line, sets)
+	for i := range setsState {
+		setsState[i] = make([]line, 0, ways)
+	}
+
+	var res OPTResult
+	for i, b := range blocks {
+		s := setsState[b&mask]
+		hit := false
+		for k := range s {
+			if s[k].block == b {
+				s[k].next = nextUse[i]
+				hit = true
+				break
+			}
+		}
+		if hit {
+			res.Hits++
+			continue
+		}
+		res.Misses++
+		if nextUse[i] == never {
+			continue // never reused: optimal choice is to bypass
+		}
+		if uint32(len(s)) < ways {
+			setsState[b&mask] = append(s, line{block: b, next: nextUse[i]})
+			continue
+		}
+		// Find the farthest-future line, considering the incoming block.
+		victim, farthest := -1, nextUse[i]
+		for k := range s {
+			if s[k].next > farthest {
+				victim, farthest = k, s[k].next
+			}
+		}
+		if victim >= 0 {
+			s[victim] = line{block: b, next: nextUse[i]}
+		}
+		// victim < 0: incoming block is the farthest -> bypass.
+	}
+	return res
+}

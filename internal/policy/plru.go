@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// PLRU is tree-based Pseudo-LRU, the replacement scheme most commonly
+// shipped in real L1/L2 caches and one of the base schemes the paper names
+// as a GRASP substrate (Sec. III-C). Each set keeps ways-1 tree bits; a
+// hit or fill flips the bits along the block's root path to point away
+// from it, and the victim is found by following the bits from the root.
+//
+// Associativity must be a power of two.
+type PLRU struct {
+	bits []bool // (ways-1) bits per set, heap layout: node i has kids 2i+1, 2i+2
+	ways uint32
+}
+
+// NewPLRU creates a tree-PLRU policy.
+func NewPLRU(sets, ways uint32) *PLRU {
+	if ways == 0 || ways&(ways-1) != 0 {
+		panic("policy: PLRU requires power-of-two associativity")
+	}
+	return &PLRU{bits: make([]bool, sets*(ways-1)), ways: ways}
+}
+
+var _ cache.Policy = (*PLRU)(nil)
+
+// Name implements cache.Policy.
+func (p *PLRU) Name() string { return "PLRU" }
+
+// touch flips the tree bits on way's root path to protect it.
+func (p *PLRU) touch(set, way uint32) {
+	base := set * (p.ways - 1)
+	// Walk from the root to the leaf; at each node record whether the
+	// target is in the left or right subtree and point the bit the OTHER
+	// way (bit true = next victim search goes right).
+	node := uint32(0)
+	lo, hi := uint32(0), p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			p.bits[base+node] = true // victim search should go right
+			node = 2*node + 1
+			hi = mid
+		} else {
+			p.bits[base+node] = false // victim search should go left
+			node = 2*node + 2
+			lo = mid
+		}
+	}
+}
+
+// OnHit implements cache.Policy.
+func (p *PLRU) OnHit(set, way uint32, _ mem.Access) { p.touch(set, way) }
+
+// OnFill implements cache.Policy.
+func (p *PLRU) OnFill(set, way uint32, _ mem.Access) { p.touch(set, way) }
+
+// Victim implements cache.Policy: follow the tree bits.
+func (p *PLRU) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	base := set * (p.ways - 1)
+	node := uint32(0)
+	lo, hi := uint32(0), p.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.bits[base+node] {
+			node = 2*node + 2
+			lo = mid
+		} else {
+			node = 2*node + 1
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// OnEvict implements cache.Policy.
+func (p *PLRU) OnEvict(uint32, uint32) {}
+
+// VictimPath exposes the would-be victim without side effects (tests).
+func (p *PLRU) VictimPath(set uint32) uint32 {
+	v, _ := p.Victim(set, mem.Access{})
+	return v
+}

@@ -1,0 +1,251 @@
+// Package policy implements the LLC replacement policies evaluated in the
+// paper: the history-agnostic RRIP family (SRRIP/BRRIP/DRRIP) that GRASP
+// builds on, the history-based predictive schemes SHiP-MEM, Hawkeye and
+// Leeway, the pinning-based XMem (PIN-X), DIP, and the offline Belady OPT
+// upper bound.
+package policy
+
+import (
+	"fmt"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// RRPV constants for the 3-bit re-reference prediction values used
+// throughout the paper (Table II): 0 = near-immediate re-reference
+// (MRU-like), 7 = distant re-reference (LRU-like, immediate eviction
+// candidate).
+const (
+	RRPVBits     = 3
+	RRPVMax      = (1 << RRPVBits) - 1 // 7: distant (Low-Reuse insertion)
+	RRPVLong     = RRPVMax - 1         // 6: long (SRRIP insertion)
+	RRPVNear     = 0                   // near-immediate (MRU position)
+	brripEpsilon = 32                  // BRRIP inserts at RRPVLong 1/32 of the time
+)
+
+// RRIPMeta is the shared per-block RRPV state used by the RRIP family and
+// every policy layered on it (GRASP, SHiP, Hawkeye-style aging). It is
+// factored out so derived policies compose instead of re-implementing the
+// victim scan.
+type RRIPMeta struct {
+	rrpv []uint8
+	ways uint32
+}
+
+// NewRRIPMeta allocates RRPV state for sets x ways blocks, initialized to
+// distant (empty ways are filled before Victim is ever called, so initial
+// values only matter for determinism).
+func NewRRIPMeta(sets, ways uint32) *RRIPMeta {
+	m := &RRIPMeta{rrpv: make([]uint8, sets*ways), ways: ways}
+	for i := range m.rrpv {
+		m.rrpv[i] = RRPVMax
+	}
+	return m
+}
+
+// Get returns the RRPV of set/way.
+func (m *RRIPMeta) Get(set, way uint32) uint8 { return m.rrpv[set*m.ways+way] }
+
+// Set assigns the RRPV of set/way.
+func (m *RRIPMeta) Set(set, way uint32, v uint8) { m.rrpv[set*m.ways+way] = v }
+
+// Victim implements the SRRIP victim search: find the first way with
+// RRPV==max, aging the whole set (incrementing every RRPV) until one
+// appears. Ways are scanned in index order, matching the CRC reference
+// implementation.
+func (m *RRIPMeta) Victim(set uint32) uint32 {
+	base := set * m.ways
+	for {
+		for w := uint32(0); w < m.ways; w++ {
+			if m.rrpv[base+w] == RRPVMax {
+				return w
+			}
+		}
+		for w := uint32(0); w < m.ways; w++ {
+			m.rrpv[base+w]++
+		}
+	}
+}
+
+// SRRIP is Static RRIP [Jaleel et al., ISCA'10]: insert at "long" (max-1),
+// promote to 0 on hit (hit-priority variant).
+type SRRIP struct {
+	meta *RRIPMeta
+}
+
+// NewSRRIP creates an SRRIP policy.
+func NewSRRIP(sets, ways uint32) *SRRIP {
+	return &SRRIP{meta: NewRRIPMeta(sets, ways)}
+}
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "SRRIP" }
+
+// OnHit implements cache.Policy.
+func (p *SRRIP) OnHit(set, way uint32, _ mem.Access) { p.meta.Set(set, way, RRPVNear) }
+
+// OnFill implements cache.Policy.
+func (p *SRRIP) OnFill(set, way uint32, _ mem.Access) { p.meta.Set(set, way, RRPVLong) }
+
+// Victim implements cache.Policy.
+func (p *SRRIP) Victim(set uint32, _ mem.Access) (uint32, bool) { return p.meta.Victim(set), false }
+
+// OnEvict implements cache.Policy.
+func (p *SRRIP) OnEvict(uint32, uint32) {}
+
+// BRRIP is Bimodal RRIP: insert at distant (max) with high probability and
+// at long (max-1) infrequently (1/32), providing thrash resistance.
+type BRRIP struct {
+	meta    *RRIPMeta
+	counter uint64
+}
+
+// NewBRRIP creates a BRRIP policy.
+func NewBRRIP(sets, ways uint32) *BRRIP {
+	return &BRRIP{meta: NewRRIPMeta(sets, ways)}
+}
+
+// Name implements cache.Policy.
+func (p *BRRIP) Name() string { return "BRRIP" }
+
+// OnHit implements cache.Policy.
+func (p *BRRIP) OnHit(set, way uint32, _ mem.Access) { p.meta.Set(set, way, RRPVNear) }
+
+// OnFill implements cache.Policy.
+func (p *BRRIP) OnFill(set, way uint32, _ mem.Access) {
+	p.counter++
+	if p.counter%brripEpsilon == 0 {
+		p.meta.Set(set, way, RRPVLong)
+	} else {
+		p.meta.Set(set, way, RRPVMax)
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *BRRIP) Victim(set uint32, _ mem.Access) (uint32, bool) { return p.meta.Victim(set), false }
+
+// OnEvict implements cache.Policy.
+func (p *BRRIP) OnEvict(uint32, uint32) {}
+
+// DRRIP is Dynamic RRIP: set dueling between SRRIP and BRRIP insertion with
+// a saturating policy-selector counter (PSEL). This is the "RRIP" baseline
+// of the paper's evaluation (Sec. IV-C cites the CRC DRRIP source).
+type DRRIP struct {
+	meta *RRIPMeta
+	sets uint32
+	// Set dueling: every duelPeriod-th set leads SRRIP; sets offset by
+	// duelPeriod/2 lead BRRIP.
+	psel    int32 // saturating counter; >= 0 prefers SRRIP
+	counter uint64
+}
+
+const (
+	duelPeriod = 32
+	pselMax    = 512
+)
+
+// NewDRRIP creates a DRRIP policy.
+func NewDRRIP(sets, ways uint32) *DRRIP {
+	return &DRRIP{meta: NewRRIPMeta(sets, ways), sets: sets}
+}
+
+// Name implements cache.Policy.
+func (p *DRRIP) Name() string { return "RRIP" }
+
+// leader returns +1 for SRRIP leader sets, -1 for BRRIP leaders, 0 for
+// follower sets. The dueling period shrinks with the set count so tiny
+// test caches still have one leader of each kind.
+func (p *DRRIP) leader(set uint32) int {
+	period := uint32(duelPeriod)
+	if p.sets < period {
+		period = p.sets
+	}
+	switch set % period {
+	case 0:
+		return +1
+	case period / 2:
+		return -1
+	}
+	return 0
+}
+
+// OnHit implements cache.Policy.
+func (p *DRRIP) OnHit(set, way uint32, _ mem.Access) { p.meta.Set(set, way, RRPVNear) }
+
+// OnFill implements cache.Policy. Leader sets use their fixed policy and
+// a miss in a leader set trains PSEL toward the other policy; followers
+// use the winning policy.
+func (p *DRRIP) OnFill(set, way uint32, _ mem.Access) {
+	useSRRIP := p.psel >= 0
+	switch p.leader(set) {
+	case +1:
+		useSRRIP = true
+		if p.psel > -pselMax {
+			p.psel-- // miss in SRRIP leader: vote for BRRIP
+		}
+	case -1:
+		useSRRIP = false
+		if p.psel < pselMax {
+			p.psel++ // miss in BRRIP leader: vote for SRRIP
+		}
+	}
+	if useSRRIP {
+		p.meta.Set(set, way, RRPVLong)
+		return
+	}
+	p.counter++
+	if p.counter%brripEpsilon == 0 {
+		p.meta.Set(set, way, RRPVLong)
+	} else {
+		p.meta.Set(set, way, RRPVMax)
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *DRRIP) Victim(set uint32, _ mem.Access) (uint32, bool) { return p.meta.Victim(set), false }
+
+// OnEvict implements cache.Policy.
+func (p *DRRIP) OnEvict(uint32, uint32) {}
+
+// Meta exposes the RRPV state for policies and tests layered on DRRIP.
+func (p *DRRIP) Meta() *RRIPMeta { return p.meta }
+
+// Constructor builds a policy for a given LLC geometry. The experiment
+// harness works with named constructors so every run gets fresh state.
+type Constructor struct {
+	Name string
+	New  func(sets, ways uint32) cache.Policy
+}
+
+// ByName returns a policy constructor by its experiment name.
+func ByName(name string) (Constructor, error) {
+	for _, c := range All() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Constructor{}, fmt.Errorf("policy: unknown policy %q", name)
+}
+
+// All returns constructors for every LLC policy in this package. GRASP
+// variants live in internal/core (they are the paper's contribution, not a
+// prior scheme) and register themselves through their own constructors.
+func All() []Constructor {
+	return []Constructor{
+		{Name: "LRU", New: func(s, w uint32) cache.Policy { return cache.NewLRU(s, w) }},
+		{Name: "SRRIP", New: func(s, w uint32) cache.Policy { return NewSRRIP(s, w) }},
+		{Name: "BRRIP", New: func(s, w uint32) cache.Policy { return NewBRRIP(s, w) }},
+		{Name: "RRIP", New: func(s, w uint32) cache.Policy { return NewDRRIP(s, w) }},
+		{Name: "DIP", New: func(s, w uint32) cache.Policy { return NewDIP(s, w) }},
+		{Name: "PLRU", New: func(s, w uint32) cache.Policy { return NewPLRU(s, w) }},
+		{Name: "SHiP-MEM", New: func(s, w uint32) cache.Policy { return NewSHiPMem(s, w) }},
+		{Name: "SHiP-PC", New: func(s, w uint32) cache.Policy { return NewSHiPPC(s, w) }},
+		{Name: "Hawkeye", New: func(s, w uint32) cache.Policy { return NewHawkeye(s, w) }},
+		{Name: "Leeway", New: func(s, w uint32) cache.Policy { return NewLeeway(s, w) }},
+		{Name: "PIN-25", New: func(s, w uint32) cache.Policy { return NewXMem(s, w, 25) }},
+		{Name: "PIN-50", New: func(s, w uint32) cache.Policy { return NewXMem(s, w, 50) }},
+		{Name: "PIN-75", New: func(s, w uint32) cache.Policy { return NewXMem(s, w, 75) }},
+		{Name: "PIN-100", New: func(s, w uint32) cache.Policy { return NewXMem(s, w, 100) }},
+	}
+}

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// SHiPPC is the original PC-signature variant of SHiP [Wu et al.,
+// MICRO'11]. The paper evaluates the memory-region variant instead
+// precisely because PC correlation is useless for graph analytics
+// (Sec. II-F: one PC accesses hot and cold vertices alike); this
+// implementation exists to demonstrate that claim quantitatively — see the
+// "ablation" experiment and its test, where SHiP-PC fails to separate the
+// Property Array's hot and cold blocks.
+type SHiPPC struct {
+	meta   *RRIPMeta
+	shct   map[uint32]uint8
+	sig    []uint32
+	reused []bool
+	ways   uint32
+}
+
+// NewSHiPPC creates a SHiP-PC policy.
+func NewSHiPPC(sets, ways uint32) *SHiPPC {
+	return &SHiPPC{
+		meta:   NewRRIPMeta(sets, ways),
+		shct:   make(map[uint32]uint8),
+		sig:    make([]uint32, sets*ways),
+		reused: make([]bool, sets*ways),
+		ways:   ways,
+	}
+}
+
+var _ cache.Policy = (*SHiPPC)(nil)
+
+// Name implements cache.Policy.
+func (p *SHiPPC) Name() string { return "SHiP-PC" }
+
+// OnHit implements cache.Policy.
+func (p *SHiPPC) OnHit(set, way uint32, _ mem.Access) {
+	p.meta.Set(set, way, RRPVNear)
+	i := set*p.ways + way
+	if !p.reused[i] {
+		p.reused[i] = true
+		if c := p.shct[p.sig[i]]; c < shctMax {
+			p.shct[p.sig[i]] = c + 1
+		}
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *SHiPPC) OnFill(set, way uint32, a mem.Access) {
+	i := set*p.ways + way
+	p.sig[i] = a.PC
+	p.reused[i] = false
+	c, ok := p.shct[a.PC]
+	if !ok {
+		c = shctInit
+		p.shct[a.PC] = c
+	}
+	if c == 0 {
+		p.meta.Set(set, way, RRPVMax)
+	} else {
+		p.meta.Set(set, way, RRPVLong)
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *SHiPPC) Victim(set uint32, _ mem.Access) (uint32, bool) {
+	return p.meta.Victim(set), false
+}
+
+// OnEvict implements cache.Policy.
+func (p *SHiPPC) OnEvict(set, way uint32) {
+	i := set*p.ways + way
+	if !p.reused[i] {
+		if c := p.shct[p.sig[i]]; c > 0 {
+			p.shct[p.sig[i]] = c - 1
+		}
+	}
+}
+
+// SHCTSnapshot returns a copy of the signature table (tests/inspection).
+func (p *SHiPPC) SHCTSnapshot() map[uint32]uint8 {
+	out := make(map[uint32]uint8, len(p.shct))
+	for k, v := range p.shct {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+func testMCConfig() MulticoreConfig {
+	m := DefaultMulticoreConfig()
+	m.Base = testHCfg()
+	m.Cores = 4
+	m.ChunkAccesses = 256
+	return m
+}
+
+func TestMulticoreConfigValidation(t *testing.T) {
+	if _, err := NewMulticore(MulticoreConfig{Base: testHCfg(), Cores: 0, ChunkAccesses: 1, QuantumAccesses: 1}, cache.NewLRU(1, 1), nil); err == nil {
+		t.Fatal("expected error for 0 cores")
+	}
+	if _, err := NewMulticore(MulticoreConfig{Base: testHCfg(), Cores: 2, ChunkAccesses: 0, QuantumAccesses: 1}, cache.NewLRU(1, 1), nil); err == nil {
+		t.Fatal("expected error for 0 chunk")
+	}
+	bad := testMCConfig()
+	bad.Base.L1.SizeBytes = 1000
+	lru := cache.NewLRU(bad.Base.LLC.Sets(), bad.Base.LLC.Ways)
+	if _, err := NewMulticore(bad, lru, nil); err == nil {
+		t.Fatal("expected error for bad L1 geometry")
+	}
+}
+
+func TestMulticoreConservesAccesses(t *testing.T) {
+	mcfg := testMCConfig()
+	lru := cache.NewLRU(mcfg.Base.LLC.Sets(), mcfg.Base.LLC.Ways)
+	m, err := NewMulticore(mcfg, lru, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Access(mem.Access{Addr: uint64(i*64) % (1 << 20)})
+	}
+	m.Finish()
+	if got := m.L1Stats().Accesses(); got != n {
+		t.Fatalf("L1 accesses %d, want %d", got, n)
+	}
+	// Every L2 miss must reach the LLC after Finish.
+	if m.L2Stats().Misses != m.LLC.Stats.Accesses() {
+		t.Fatalf("L2 misses %d != LLC accesses %d", m.L2Stats().Misses, m.LLC.Stats.Accesses())
+	}
+}
+
+func TestMulticoreSpreadsAcrossCores(t *testing.T) {
+	mcfg := testMCConfig()
+	lru := cache.NewLRU(mcfg.Base.LLC.Sets(), mcfg.Base.LLC.Ways)
+	m, _ := NewMulticore(mcfg, lru, nil)
+	for i := 0; i < mcfg.ChunkAccesses*mcfg.Cores*3; i++ {
+		m.Access(mem.Access{Addr: uint64(i) << 6})
+	}
+	m.Finish()
+	for c, l1 := range m.l1s {
+		if l1.Stats.Accesses() == 0 {
+			t.Fatalf("core %d received no accesses", c)
+		}
+	}
+}
+
+func TestRunMulticoreGRASPStillWins(t *testing.T) {
+	w := testWorkload(t, "kr", "DBG", false)
+	mcfg := testMCConfig()
+	spec := Spec{App: "PR", Layout: apps.LayoutMerged, Policy: "RRIP", HCfg: testHCfg()}
+	base, err := RunMulticore(w, spec, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Policy = "GRASP"
+	gr, err := RunMulticore(w, spec, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LLC.Accesses() == 0 {
+		t.Fatal("no LLC traffic in multicore run")
+	}
+	if gr.LLC.Misses >= base.LLC.Misses {
+		t.Fatalf("multicore GRASP misses %d >= RRIP %d", gr.LLC.Misses, base.LLC.Misses)
+	}
+	if gr.Cycles <= 0 || base.Cycles <= 0 {
+		t.Fatal("memory-time model returned nonpositive cycles")
+	}
+}
+
+func TestMulticoreMatchesSingleCoreDirectionally(t *testing.T) {
+	// Single-core and 4-core runs must agree on the winner (GRASP < RRIP
+	// misses) even though absolute counts differ.
+	w := testWorkload(t, "tw", "DBG", false)
+	hcfg := testHCfg()
+	mcfg := testMCConfig()
+	single := func(pol string) uint64 {
+		r, err := Run(w, Spec{App: "PR", Layout: apps.LayoutMerged, Policy: pol, HCfg: hcfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.LLC.Misses
+	}
+	multi := func(pol string) uint64 {
+		r, err := RunMulticore(w, Spec{App: "PR", Layout: apps.LayoutMerged, Policy: pol, HCfg: hcfg}, mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.LLC.Misses
+	}
+	sWin := single("GRASP") < single("RRIP")
+	mWin := multi("GRASP") < multi("RRIP")
+	if sWin != mWin {
+		t.Fatalf("single-core winner (grasp=%v) disagrees with multicore (grasp=%v)", sWin, mWin)
+	}
+}

@@ -1,0 +1,239 @@
+// Package sim is the simulation driver: it wires a dataset, a reordering
+// technique, an application and an LLC policy into the cache hierarchy and
+// produces the metrics the paper reports (LLC misses, access breakdown,
+// modeled memory time). It replaces the paper's Sniper-based methodology
+// (Sec. IV-C) with execution-driven trace simulation — see DESIGN.md.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/core"
+	"grasp/internal/graph"
+	"grasp/internal/ligra"
+	"grasp/internal/mem"
+	"grasp/internal/policy"
+	"grasp/internal/reorder"
+)
+
+// PolicyInfo describes an LLC policy available to experiments, including
+// whether it consumes GRASP's software hints (and therefore needs ABRs
+// programmed).
+type PolicyInfo struct {
+	Name      string
+	NeedsABRs bool
+	New       func(sets, ways uint32) cache.Policy
+}
+
+// Policies returns the full registry: the prior schemes from
+// internal/policy plus the GRASP variants from internal/core.
+func Policies() []PolicyInfo {
+	var out []PolicyInfo
+	for _, c := range policy.All() {
+		c := c
+		needs := len(c.Name) >= 4 && c.Name[:4] == "PIN-" // XMem uses the GRASP interface
+		out = append(out, PolicyInfo{Name: c.Name, NeedsABRs: needs, New: c.New})
+	}
+	out = append(out,
+		PolicyInfo{Name: "RRIP+Hints", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewPolicy(s, w, core.ModeHintsOnly) }},
+		PolicyInfo{Name: "GRASP (Insertion-Only)", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewPolicy(s, w, core.ModeInsertionOnly) }},
+		PolicyInfo{Name: "GRASP", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewPolicy(s, w, core.ModeFull) }},
+		PolicyInfo{Name: "GRASP-LRU", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewLRUPolicy(s, w) }},
+		PolicyInfo{Name: "GRASP-PLRU", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewPLRUPolicy(s, w) }},
+		PolicyInfo{Name: "GRASP-DIP", NeedsABRs: true,
+			New: func(s, w uint32) cache.Policy { return core.NewDIPPolicy(s, w) }},
+	)
+	return out
+}
+
+// PolicyByName resolves a policy from the registry.
+func PolicyByName(name string) (PolicyInfo, error) {
+	for _, p := range Policies() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return PolicyInfo{}, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// Workload is a prepared (dataset, reordering) pair, reusable across apps
+// and policies so experiments amortize generation and reordering cost.
+type Workload struct {
+	Dataset     graph.Dataset
+	Reorder     string
+	Graph       *graph.CSR
+	ReorderCost time.Duration
+	Weighted    bool
+}
+
+// PrepareWorkload generates the dataset (scaled down by scaleDiv; 1 = full
+// reproduction scale) and applies the named reordering technique, timing it.
+func PrepareWorkload(ds graph.Dataset, reorderName string, weighted bool, scaleDiv uint32) (*Workload, error) {
+	g := ds.Generate(weighted, scaleDiv)
+	tech, err := reorder.ByName(reorderName)
+	if err != nil {
+		return nil, err
+	}
+	perm, cost := reorder.Timed(tech, g, reorder.BySum)
+	if reorderName != "Identity" && reorderName != "none" {
+		g = reorder.Apply(g, perm)
+	}
+	return &Workload{Dataset: ds, Reorder: reorderName, Graph: g,
+		ReorderCost: cost, Weighted: weighted}, nil
+}
+
+// Spec identifies one simulation run on a prepared workload.
+type Spec struct {
+	App    string
+	Layout apps.Layout
+	Policy string
+	HCfg   cache.HierarchyConfig
+}
+
+// Result carries the metrics of one run.
+type Result struct {
+	Spec        Spec
+	Workload    string // dataset name
+	L1, L2, LLC cache.Stats
+	Cycles      float64       // modeled memory time (arbitrary units)
+	AppTime     time.Duration // wall-clock of the traced execution
+}
+
+// SpeedupPctOver returns the percentage speed-up of r relative to base
+// under the memory-time model: positive = r is faster.
+func (r Result) SpeedupPctOver(base Result) float64 {
+	return (base.Cycles/r.Cycles - 1) * 100
+}
+
+// MissReductionPctOver returns the percentage of base's LLC misses that r
+// eliminates (can be negative).
+func (r Result) MissReductionPctOver(base Result) float64 {
+	if base.LLC.Misses == 0 {
+		return 0
+	}
+	return (1 - float64(r.LLC.Misses)/float64(base.LLC.Misses)) * 100
+}
+
+// Run executes one (app, layout, policy) simulation on the workload.
+func Run(w *Workload, spec Spec) (Result, error) {
+	pinfo, err := PolicyByName(spec.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	fg := ligra.NewGraph(w.Graph)
+	app, err := apps.New(spec.App, fg, spec.Layout)
+	if err != nil {
+		return Result{}, err
+	}
+	llcPolicy := pinfo.New(spec.HCfg.LLC.Sets(), spec.HCfg.LLC.Ways)
+	var cl cache.Classifier
+	if pinfo.NeedsABRs {
+		abrs := core.NewABRs(spec.HCfg.LLC.SizeBytes)
+		for _, a := range app.ABRArrays() {
+			if err := abrs.SetArray(a); err != nil {
+				return Result{}, err
+			}
+		}
+		cl = abrs
+	}
+	h, err := cache.NewHierarchy(spec.HCfg, llcPolicy, cl)
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	app.Run(ligra.NewTracer(h))
+	elapsed := time.Since(start)
+	return Result{
+		Spec:     spec,
+		Workload: w.Dataset.Name,
+		L1:       h.L1.Stats, L2: h.L2.Stats, LLC: h.LLC.Stats,
+		Cycles:  h.MemoryCycles(),
+		AppTime: elapsed,
+	}, nil
+}
+
+// llcTraceSink filters an access stream through fresh L1/L2 levels and
+// records the LLC-bound byte addresses — the paper's "traces of LLC
+// accesses" used for the OPT study (Sec. V-D).
+type llcTraceSink struct {
+	l1, l2 *cache.Cache
+	addrs  []uint64
+	limit  int
+}
+
+func (s *llcTraceSink) Access(a mem.Access) {
+	if s.l1.Access(a) || s.l2.Access(a) {
+		return
+	}
+	if s.limit > 0 && len(s.addrs) >= s.limit {
+		return
+	}
+	s.addrs = append(s.addrs, a.Addr)
+}
+
+// CollectLLCTrace runs the app natively once and returns the byte
+// addresses of all LLC accesses (up to limit; 0 = unlimited). The L1/L2
+// filters are policy-independent, so the trace is identical to what any
+// LLC policy would observe.
+func CollectLLCTrace(w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig, limit int) ([]uint64, error) {
+	fg := ligra.NewGraph(w.Graph)
+	app, err := apps.New(appName, fg, layout)
+	if err != nil {
+		return nil, err
+	}
+	sink := &llcTraceSink{
+		l1:    cache.MustNew(hcfg.L1, cache.NewLRU(hcfg.L1.Sets(), hcfg.L1.Ways)),
+		l2:    cache.MustNew(hcfg.L2, cache.NewLRU(hcfg.L2.Sets(), hcfg.L2.Ways)),
+		limit: limit,
+	}
+	app.Run(ligra.NewTracer(sink))
+	return sink.addrs, nil
+}
+
+// ReplayTrace runs a recorded LLC address trace through an LLC with the
+// given policy (and optional classifier), returning its stats. Used by the
+// Fig. 11 / Table VII experiments to evaluate many cache sizes per trace.
+func ReplayTrace(addrs []uint64, llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) (cache.Stats, error) {
+	llc, err := cache.New(llcCfg, pinfo.New(llcCfg.Sets(), llcCfg.Ways))
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	if pinfo.NeedsABRs {
+		abrs := core.NewABRs(llcCfg.SizeBytes)
+		for _, b := range abrArrays {
+			if err := abrs.SetBounds(b[0], b[1]); err != nil {
+				return cache.Stats{}, err
+			}
+		}
+		llc.SetClassifier(abrs)
+	}
+	for _, a := range addrs {
+		llc.Access(mem.Access{Addr: a})
+	}
+	return llc.Stats, nil
+}
+
+// ABRBoundsFor computes the [start, end) bounds of the app's ABR arrays on
+// a fresh graph wrapper (layout-dependent), for use with ReplayTrace. The
+// address space layout is deterministic, so bounds from a fresh wrapper
+// match those of the run that produced the trace.
+func ABRBoundsFor(w *Workload, appName string, layout apps.Layout) ([][2]uint64, error) {
+	fg := ligra.NewGraph(w.Graph)
+	app, err := apps.New(appName, fg, layout)
+	if err != nil {
+		return nil, err
+	}
+	var out [][2]uint64
+	for _, a := range app.ABRArrays() {
+		out = append(out, [2]uint64{a.Base, a.End()})
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %f, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %f", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative input must be NaN")
+	}
+}
+
+func TestGeoMeanSpeedupPct(t *testing.T) {
+	// Symmetric +10%/-10% is slightly negative under geometric mean.
+	g := GeoMeanSpeedupPct([]float64{10, -10})
+	if g >= 0 || g < -1 {
+		t.Fatalf("GeoMeanSpeedupPct(+10,-10) = %f", g)
+	}
+	if g := GeoMeanSpeedupPct([]float64{5, 5}); math.Abs(g-5) > 1e-9 {
+		t.Fatalf("uniform speedups must aggregate unchanged: %f", g)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	v := []float64{3, 1, 2}
+	if Mean(v) != 2 || Min(v) != 1 || Max(v) != 3 {
+		t.Fatalf("Mean/Min/Max wrong: %f %f %f", Mean(v), Min(v), Max(v))
+	}
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-input extrema should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.25)
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "2.2") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+	// Columns align: all lines have the same leading column width.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing header rule:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("x")
+	if s := tb.String(); !strings.Contains(s, "x") {
+		t.Fatalf("ragged row lost: %s", s)
+	}
+}
