@@ -27,9 +27,10 @@ const benchScale = 32
 
 func benchSession() *exp.Session { return exp.NewSession(exp.ScaledConfig(benchScale)) }
 
-// runExperiment benchmarks one experiment end to end (fresh session per
-// iteration: preparation, simulation and formatting are all included, as
-// they are in the paper's methodology).
+// runExperiment benchmarks one experiment end to end through the
+// concurrent engine (fresh session per iteration: preparation, parallel
+// datapoint fan-out, simulation and formatting are all included, as they
+// are in the paper's methodology).
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, err := exp.ByID(id)
@@ -38,7 +39,19 @@ func runExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(benchSession(), io.Discard); err != nil {
+		if err := exp.RunAll(benchSession(), []exp.Experiment{e}, io.Discard, exp.RunObserver{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllEngine drives every experiment through one shared session
+// per iteration: the end-to-end number for the full evaluation sweep, with
+// cross-experiment dedup (fig5/fig6, fig11/table7) and batch fan-out.
+func BenchmarkRunAllEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := exp.RunAll(benchSession(), exp.All(), io.Discard, exp.RunObserver{}); err != nil {
 			b.Fatal(err)
 		}
 	}

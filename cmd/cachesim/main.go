@@ -24,10 +24,12 @@ import (
 )
 
 // arraySink feeds the hierarchy while attributing LLC traffic to the data
-// structure it touches.
+// structure it touches. Consecutive LLC accesses usually fall in the same
+// array, so the last resolved array short-circuits the address-space scan.
 type arraySink struct {
 	l1, l2, llc *cache.Cache
 	as          *mem.AddressSpace
+	last        *mem.Array
 	acc, miss   map[string]uint64
 }
 
@@ -36,7 +38,10 @@ func (s *arraySink) Access(a mem.Access) {
 		return
 	}
 	name := "(unmapped)"
-	if ar := s.as.Find(a.Addr); ar != nil {
+	if s.last != nil && a.Addr >= s.last.Base && a.Addr < s.last.End() {
+		name = s.last.Name
+	} else if ar := s.as.Find(a.Addr); ar != nil {
+		s.last = ar
 		name = ar.Name
 	}
 	s.acc[name]++

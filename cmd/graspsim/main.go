@@ -5,26 +5,51 @@
 //	graspsim -exp fig5            # one experiment at full scale
 //	graspsim -exp all -scale 8    # everything at 1/8 scale
 //	graspsim -list                # list experiment ids
+//	graspsim -exp all -bench-json auto   # also record wall-clock to BENCH_<date>.json
 //
 // Experiment ids follow the paper: table1, table4, fig2, fig5, fig6, fig7,
-// fig8, fig9, fig10a, fig10b, fig11, table7, plus the extra "noreorder"
-// study. Results at full scale are recorded in EXPERIMENTS.md.
+// fig8, fig9, fig10a, fig10b, fig11, table7, plus extra studies (-list
+// shows all; DESIGN.md Sec. 4 is the index).
+//
+// Experiments run through the concurrent engine (exp.RunAll): the union of
+// their datapoints is simulated on a GOMAXPROCS worker pool, deduplicated,
+// before the bodies render in paper order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"grasp/internal/exp"
 )
 
+// benchEntry is one experiment's wall-clock in the -bench-json record.
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchRecord is the perf-trajectory snapshot written by -bench-json.
+type benchRecord struct {
+	Date         string       `json:"date"`
+	Scale        uint         `json:"scale"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	PrefetchSec  float64      `json:"prefetch_seconds"` // parallel fan-out phase (RunAll)
+	Experiments  []benchEntry `json:"experiments"`      // per-body render time
+	TotalSeconds float64      `json:"total_seconds"`
+}
+
 func main() {
 	expID := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
 	scale := flag.Uint("scale", 1, "dataset scale divisor (1 = full reproduction scale)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	benchJSON := flag.String("bench-json", "",
+		"record wall-clock per experiment to this JSON file ('auto' = BENCH_<date>.json)")
 	flag.Parse()
 
 	if *list {
@@ -42,28 +67,60 @@ func main() {
 		*scale, cfg.HCfg.LLC.SizeBytes>>10, cfg.HCfg.L1.SizeBytes>>10, cfg.HCfg.L2.SizeBytes>>10)
 	session := exp.NewSession(cfg)
 
-	run := func(e exp.Experiment) {
-		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
-		start := time.Now()
-		if err := e.Run(session, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "graspsim: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	var exps []exp.Experiment
+	if *expID == "all" {
+		exps = exp.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "graspsim:", err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
 		}
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *expID == "all" {
-		for _, e := range exp.All() {
-			run(e)
-		}
-		return
+	record := benchRecord{
+		Date:       time.Now().Format("2006-01-02"),
+		Scale:      *scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
-	for _, id := range strings.Split(*expID, ",") {
-		e, err := exp.ByID(strings.TrimSpace(id))
+	start := time.Now()
+	obs := exp.RunObserver{
+		Before: func(e exp.Experiment) {
+			// First Before fires after the shared prefetch phase completes.
+			if record.PrefetchSec == 0 {
+				record.PrefetchSec = time.Since(start).Seconds()
+			}
+			fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+		},
+		After: func(e exp.Experiment, elapsed time.Duration) {
+			record.Experiments = append(record.Experiments,
+				benchEntry{ID: e.ID, Seconds: elapsed.Seconds()})
+			fmt.Printf("(%s in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		},
+	}
+	if err := exp.RunAll(session, exps, os.Stdout, obs); err != nil {
+		fmt.Fprintln(os.Stderr, "graspsim:", err)
+		os.Exit(1)
+	}
+	record.TotalSeconds = time.Since(start).Seconds()
+
+	if *benchJSON != "" {
+		path := *benchJSON
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", record.Date)
+		}
+		data, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
 			os.Exit(1)
 		}
-		run(e)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "graspsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graspsim: wall-clock record written to %s\n", path)
 	}
 }

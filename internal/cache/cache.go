@@ -80,14 +80,23 @@ func (s Stats) MissRatio() float64 {
 	return float64(s.Misses) / float64(s.Accesses())
 }
 
+// invalidTag marks an empty way in the fused tag array. Block addresses are
+// byte addresses shifted right by BlockBits, so no reachable address maps to
+// all-ones and the sentinel doubles as the valid bit: a single uint64 load
+// per way answers both "valid?" and "tag match?" (one cache line per set
+// probe instead of separate tags/valid slices).
+const invalidTag = ^uint64(0)
+
 // Cache is one set-associative cache level.
 type Cache struct {
 	sets, ways uint32
 	setMask    uint64
-	tags       []uint64 // sets*ways, block addresses
-	valid      []bool
+	tags       []uint64 // sets*ways, block addresses; invalidTag = empty way
 	dirty      []bool
 	policy     Policy
+	// observer is the policy's AccessObserver side, resolved once at
+	// construction so Access does not repeat the type assertion per access.
+	observer   AccessObserver
 	classifier Classifier
 	Stats      Stats
 }
@@ -113,12 +122,17 @@ func New(cfg Config, p Policy) (*Cache, error) {
 	if cfg.SizeBytes != uint64(sets)*uint64(cfg.Ways)*BlockSize {
 		return nil, fmt.Errorf("cache: size %d not divisible into %d ways of %dB blocks", cfg.SizeBytes, cfg.Ways, BlockSize)
 	}
+	tags := make([]uint64, sets*cfg.Ways)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
+	obs, _ := p.(AccessObserver)
 	return &Cache{
 		sets: sets, ways: cfg.Ways, setMask: uint64(sets - 1),
-		tags:   make([]uint64, sets*cfg.Ways),
-		valid:  make([]bool, sets*cfg.Ways),
-		dirty:  make([]bool, sets*cfg.Ways),
-		policy: p,
+		tags:     tags,
+		dirty:    make([]bool, sets*cfg.Ways),
+		policy:   p,
+		observer: obs,
 	}, nil
 }
 
@@ -159,22 +173,23 @@ func (c *Cache) Access(a mem.Access) bool {
 	if c.classifier != nil {
 		a.Hint = c.classifier.Classify(a.Addr)
 	}
-	if obs, ok := c.policy.(AccessObserver); ok {
-		obs.ObserveAccess(a)
+	if c.observer != nil {
+		c.observer.ObserveAccess(a)
 	}
 	block := BlockAddr(a.Addr)
 	set := c.set(block)
 	base := set * c.ways
-	for w := uint32(0); w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	for w, t := range tags {
+		if t == block {
 			c.Stats.Hits++
 			if a.Property {
 				c.Stats.PropHits++
 			}
 			if a.Write {
-				c.dirty[base+w] = true
+				c.dirty[base+uint32(w)] = true
 			}
-			c.policy.OnHit(set, w, a)
+			c.policy.OnHit(set, uint32(w), a)
 			return true
 		}
 	}
@@ -183,12 +198,11 @@ func (c *Cache) Access(a mem.Access) bool {
 		c.Stats.PropMisses++
 	}
 	// Fill: prefer an invalid way.
-	for w := uint32(0); w < c.ways; w++ {
-		if !c.valid[base+w] {
-			c.valid[base+w] = true
-			c.tags[base+w] = block
-			c.dirty[base+w] = a.Write
-			c.policy.OnFill(set, w, a)
+	for w, t := range tags {
+		if t == invalidTag {
+			tags[w] = block
+			c.dirty[base+uint32(w)] = a.Write
+			c.policy.OnFill(set, uint32(w), a)
 			return false
 		}
 	}
@@ -216,7 +230,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	block := BlockAddr(addr)
 	base := c.set(block) * c.ways
 	for w := uint32(0); w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
+		if c.tags[base+w] == block {
 			return true
 		}
 	}
@@ -226,8 +240,8 @@ func (c *Cache) Contains(addr uint64) bool {
 // Flush invalidates all blocks and clears statistics. Policy state is NOT
 // reset; construct a new policy for independent runs.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 		c.dirty[i] = false
 	}
 	c.Stats = Stats{}

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"grasp/internal/apps"
+)
+
+// hammerPoints is a small mixed batch: results across two reorderings and
+// three policies plus LLC traces, with deliberate overlap between rows so
+// the dedup paths are exercised.
+func hammerPoints() []Datapoint {
+	var pts []Datapoint
+	for _, ds := range []string{"lj", "kr"} {
+		for _, app := range []string{"PR", "BC"} {
+			for _, pol := range []string{"RRIP", "GRASP", "LRU"} {
+				pts = append(pts, Datapoint{DS: ds, Reorder: "DBG", App: app,
+					Layout: apps.LayoutMerged, Policy: pol})
+			}
+			pts = append(pts, Datapoint{DS: ds, App: app, Trace: true})
+		}
+	}
+	return pts
+}
+
+// TestSessionConcurrentDeterminism hammers one Session from many goroutines
+// (each walking the same datapoints in a different order) and asserts that
+// (a) every result is identical to a sequentially computed baseline, and
+// (b) the singleflight layer collapsed all concurrent requests so each
+// distinct simulation ran exactly once. Run under -race in CI.
+func TestSessionConcurrentDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := ScaledConfig(64)
+	pts := hammerPoints()
+
+	// Sequential baseline.
+	seq := NewSession(cfg)
+	baseline := make([]interface{}, len(pts))
+	for i, p := range pts {
+		if p.Trace {
+			addrs, _, err := seq.LLCTrace(p.DS, p.App)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[i] = len(addrs)
+			continue
+		}
+		r, err := seq.Result(p.DS, p.Reorder, p.App, p.Layout, p.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = r.LLC
+	}
+
+	// Concurrent hammer: goroutines sweep the same points from rotated
+	// starting offsets, so at any moment several goroutines are asking for
+	// the same key while others race ahead.
+	const goroutines = 8
+	const rounds = 3
+	conc := NewSession(cfg)
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for k := range pts {
+					p := pts[(k+g*len(pts)/goroutines)%len(pts)]
+					if err := conc.compute(p); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Determinism: concurrent results match the sequential baseline.
+	for i, p := range pts {
+		if p.Trace {
+			addrs, _, err := conc.LLCTrace(p.DS, p.App)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(addrs) != baseline[i].(int) {
+				t.Fatalf("trace %s/%s: %d addrs, sequential had %d",
+					p.DS, p.App, len(addrs), baseline[i].(int))
+			}
+			continue
+		}
+		r, err := conc.Result(p.DS, p.Reorder, p.App, p.Layout, p.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LLC != baseline[i] {
+			t.Fatalf("datapoint %+v: concurrent %+v != sequential %+v", p, r.LLC, baseline[i])
+		}
+	}
+
+	// Dedup: despite goroutines x rounds sweeps, each distinct simulation
+	// ran exactly once (trace collection does not go through sim.Run).
+	distinct := make(map[Datapoint]bool)
+	for _, p := range pts {
+		if !p.Trace {
+			distinct[p] = true
+		}
+	}
+	if got := conc.SimRuns(); got != uint64(len(distinct)) {
+		t.Fatalf("SimRuns = %d, want %d (singleflight failed to dedup)", got, len(distinct))
+	}
+}
+
+// TestPrefetchMatchesSequentialOutput renders one full experiment both ways
+// — cold sequential session vs prefetched via RunAll — and requires
+// byte-identical output (the engine's core output-equivalence guarantee).
+func TestPrefetchMatchesSequentialOutput(t *testing.T) {
+	t.Parallel()
+	e, err := ByID("fig9")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seqBuf bytes.Buffer
+	if err := e.Run(NewSession(ScaledConfig(64)), &seqBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	var batchBuf bytes.Buffer
+	if err := RunAll(NewSession(ScaledConfig(64)), []Experiment{e}, &batchBuf, RunObserver{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(seqBuf.Bytes(), batchBuf.Bytes()) {
+		t.Fatalf("outputs differ:\nsequential:\n%s\nbatched:\n%s", seqBuf.String(), batchBuf.String())
+	}
+}
+
+// TestConcurrentExperimentsShareDatapoints runs two experiments that read
+// the same datapoints concurrently against one session: outputs must agree
+// and the shared simulations must run exactly once (the fig5/fig6 dedup
+// scenario, on a two-datapoint stand-in so the test stays cheap).
+func TestConcurrentExperimentsShareDatapoints(t *testing.T) {
+	t.Parallel()
+	s := NewSession(ScaledConfig(64))
+	mk := func(id string) Experiment {
+		return Experiment{
+			ID: id,
+			Run: func(s *Session, w io.Writer) error {
+				base, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "RRIP")
+				if err != nil {
+					return err
+				}
+				r, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "GRASP")
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%.6f %d %d\n", r.SpeedupPctOver(base), base.LLC.Misses, r.LLC.Misses)
+				return nil
+			},
+			Points: func() []Datapoint {
+				return matrixPoints([]string{"lj"}, "DBG", []string{"PR"}, []string{"GRASP"})
+			},
+		}
+	}
+	var bufs [2]bytes.Buffer
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, e := range []Experiment{mk("a"), mk("b")} {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			errs[i] = RunAll(s, []Experiment{e}, &bufs[i], RunObserver{})
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) || bufs[0].Len() == 0 {
+		t.Fatalf("concurrent experiments disagree: %q vs %q", bufs[0].String(), bufs[1].String())
+	}
+	if got := s.SimRuns(); got != 2 {
+		t.Fatalf("SimRuns = %d, want 2 (RRIP + GRASP, each once)", got)
+	}
+}
+
+// TestPrefetchErrorMatchesSequential: a batch containing an invalid
+// datapoint reports the same error a sequential pass would hit first.
+func TestPrefetchErrorMatchesSequential(t *testing.T) {
+	t.Parallel()
+	s := NewSession(ScaledConfig(64))
+	pts := []Datapoint{
+		{DS: "lj", Reorder: "DBG", App: "PR", Layout: apps.LayoutMerged, Policy: "no-such-policy"},
+		{DS: "no-such-dataset", Reorder: "DBG", App: "PR", Layout: apps.LayoutMerged, Policy: "RRIP"},
+	}
+	err := s.Prefetch(pts)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	want := s.compute(pts[0])
+	if want == nil || err.Error() != want.Error() {
+		t.Fatalf("Prefetch error %q, want first sequential failure %q", err, want)
+	}
+
+	// RunAll attributes a prefetch failure to the declaring experiment.
+	bad := Experiment{ID: "bad-exp",
+		Run:    func(s *Session, w io.Writer) error { return nil },
+		Points: func() []Datapoint { return pts }}
+	err = RunAll(s, []Experiment{bad}, io.Discard, RunObserver{})
+	if err == nil || !strings.HasPrefix(err.Error(), "bad-exp: ") {
+		t.Fatalf("RunAll error %q, want it prefixed with the declaring experiment id", err)
+	}
+}

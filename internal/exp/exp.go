@@ -1,13 +1,24 @@
 // Package exp is the experiment harness: every table and figure of the
 // paper's evaluation has a named experiment that regenerates it on the
-// synthetic datasets (see DESIGN.md Sec. 4 for the per-experiment index and
-// EXPERIMENTS.md for recorded results).
+// synthetic datasets (see DESIGN.md Sec. 4 for the per-experiment index).
+//
+// The harness is a concurrent experiment engine (DESIGN.md Sec. 6): a
+// Session is safe for use from many goroutines, deduplicates concurrent
+// requests for the same datapoint singleflight-style, and can fan a batch
+// of pre-declared datapoints out over a worker pool. Experiments declare
+// their datapoints up front (Experiment.Points) so RunAll computes the
+// union in parallel and then renders each experiment, in order, from the
+// warm cache — producing output byte-identical to a sequential run.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"grasp/internal/apps"
 	"grasp/internal/cache"
@@ -49,13 +60,60 @@ func ScaledConfig(div uint32) Config {
 	return Config{ScaleDiv: div, HCfg: h}
 }
 
-// Session caches prepared workloads and simulation results so experiments
-// sharing datapoints (e.g. fig5 and fig6) do not repeat work.
+// flightCall is one in-flight or completed computation in a flightCache.
+type flightCall[V any] struct {
+	done chan struct{} // closed when val/err are set
+	val  V
+	err  error
+}
+
+// flightCache is a concurrency-safe memoization table with singleflight
+// semantics: the first goroutine to request a key computes it with no lock
+// held; goroutines that request the same key while it is in flight block
+// until that one computation finishes and share its outcome. Errors are
+// cached too — every computation in this package is deterministic, so a
+// retry would fail identically.
+type flightCache[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+func newFlightCache[V any]() *flightCache[V] {
+	return &flightCache[V]{m: make(map[string]*flightCall[V])}
+}
+
+func (f *flightCache[V]) do(key string, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+func (f *flightCache[V]) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// Session caches prepared workloads, simulation results and LLC traces so
+// experiments sharing datapoints (e.g. fig5 and fig6) do not repeat work.
+// It is safe for concurrent use: simultaneous requests for one datapoint —
+// whether from Prefetch workers or from experiments run in parallel by the
+// caller — are deduplicated so each datapoint is computed exactly once.
 type Session struct {
 	Cfg       Config
-	workloads map[string]*sim.Workload
-	results   map[string]sim.Result
-	traces    map[string]tracePair
+	workloads *flightCache[*sim.Workload]
+	results   *flightCache[sim.Result]
+	traces    *flightCache[tracePair]
+	simRuns   atomic.Uint64 // number of sim.Run invocations (dedup observability)
 }
 
 type tracePair struct {
@@ -66,10 +124,15 @@ type tracePair struct {
 // NewSession creates a session.
 func NewSession(cfg Config) *Session {
 	return &Session{Cfg: cfg,
-		workloads: make(map[string]*sim.Workload),
-		results:   make(map[string]sim.Result),
-		traces:    make(map[string]tracePair)}
+		workloads: newFlightCache[*sim.Workload](),
+		results:   newFlightCache[sim.Result](),
+		traces:    newFlightCache[tracePair]()}
 }
+
+// SimRuns returns the number of simulations the session has executed —
+// cache hits and singleflight-merged requests do not count, so under any
+// access pattern this equals the number of distinct result datapoints.
+func (s *Session) SimRuns() uint64 { return s.simRuns.Load() }
 
 // LLCTrace returns the recorded LLC access trace and ABR bounds for one
 // (dataset, app) datapoint under DBG reordering, collecting and caching it
@@ -77,62 +140,164 @@ func NewSession(cfg Config) *Session {
 // many LLC sizes).
 func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
 	key := dsName + "|" + app
-	if tp, ok := s.traces[key]; ok {
-		return tp.addrs, tp.bounds, nil
-	}
-	w, err := s.Workload(dsName, "DBG", app == "SSSP")
-	if err != nil {
-		return nil, nil, err
-	}
-	addrs, err := sim.CollectLLCTrace(w, app, apps.LayoutMerged, s.Cfg.HCfg, optTraceCap)
-	if err != nil {
-		return nil, nil, err
-	}
-	bounds, err := sim.ABRBoundsFor(w, app, apps.LayoutMerged)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.traces[key] = tracePair{addrs: addrs, bounds: bounds}
-	return addrs, bounds, nil
+	tp, err := s.traces.do(key, func() (tracePair, error) {
+		w, err := s.Workload(dsName, "DBG", app == "SSSP")
+		if err != nil {
+			return tracePair{}, err
+		}
+		addrs, err := sim.CollectLLCTrace(w, app, apps.LayoutMerged, s.Cfg.HCfg, optTraceCap)
+		if err != nil {
+			return tracePair{}, err
+		}
+		bounds, err := sim.ABRBoundsFor(w, app, apps.LayoutMerged)
+		if err != nil {
+			return tracePair{}, err
+		}
+		return tracePair{addrs: addrs, bounds: bounds}, nil
+	})
+	return tp.addrs, tp.bounds, err
 }
 
 // Workload returns the prepared (dataset, reorder) pair, preparing and
 // caching it on first use.
 func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Workload, error) {
 	key := fmt.Sprintf("%s|%s|%v", dsName, reorderName, weighted)
-	if w, ok := s.workloads[key]; ok {
-		return w, nil
-	}
-	ds, err := graph.DatasetByName(dsName)
-	if err != nil {
-		return nil, err
-	}
-	w, err := sim.PrepareWorkload(ds, reorderName, weighted, s.Cfg.ScaleDiv)
-	if err != nil {
-		return nil, err
-	}
-	s.workloads[key] = w
-	return w, nil
+	return s.workloads.do(key, func() (*sim.Workload, error) {
+		ds, err := graph.DatasetByName(dsName)
+		if err != nil {
+			return nil, err
+		}
+		return sim.PrepareWorkload(ds, reorderName, weighted, s.Cfg.ScaleDiv)
+	})
 }
 
 // Result returns the metrics of one simulation datapoint, running and
 // caching it on first use.
 func (s *Session) Result(dsName, reorderName, app string, layout apps.Layout, policy string) (sim.Result, error) {
 	key := fmt.Sprintf("%s|%s|%s|%v|%s", dsName, reorderName, app, layout, policy)
-	if r, ok := s.results[key]; ok {
-		return r, nil
+	return s.results.do(key, func() (sim.Result, error) {
+		weighted := app == "SSSP"
+		w, err := s.Workload(dsName, reorderName, weighted)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		s.simRuns.Add(1)
+		return sim.Run(w, sim.Spec{App: app, Layout: layout, Policy: policy, HCfg: s.Cfg.HCfg})
+	})
+}
+
+// Datapoint names one unit of simulation work an experiment will consume:
+// either one (dataset, reorder, app, layout, policy) result or, with Trace
+// set, one recorded (dataset, app) LLC trace.
+type Datapoint struct {
+	DS, Reorder, App string
+	Layout           apps.Layout
+	Policy           string
+	Trace            bool // declare the LLC trace instead of a result (Reorder/Layout/Policy ignored)
+}
+
+// compute materializes the datapoint into the session caches.
+func (s *Session) compute(p Datapoint) error {
+	if p.Trace {
+		_, _, err := s.LLCTrace(p.DS, p.App)
+		return err
 	}
-	weighted := app == "SSSP"
-	w, err := s.Workload(dsName, reorderName, weighted)
-	if err != nil {
-		return sim.Result{}, err
+	_, err := s.Result(p.DS, p.Reorder, p.App, p.Layout, p.Policy)
+	return err
+}
+
+// Prefetch computes the given datapoints on a pool of GOMAXPROCS workers,
+// leaving them cached in the session. The batch is deduplicated up front
+// (a duplicate entry would park a worker slot blocking on the in-flight
+// original instead of doing distinct work); datapoints that merely share a
+// workload are deduplicated by the singleflight caches, so no simulation
+// runs twice either way. The returned error is the earliest (by batch
+// position) failure, matching what a sequential pass would report first.
+func (s *Session) Prefetch(points []Datapoint) error {
+	uniq := points
+	if len(points) > 1 {
+		seen := make(map[Datapoint]bool, len(points))
+		uniq = make([]Datapoint, 0, len(points))
+		for _, p := range points {
+			if !seen[p] {
+				seen[p] = true
+				uniq = append(uniq, p)
+			}
+		}
 	}
-	r, err := sim.Run(w, sim.Spec{App: app, Layout: layout, Policy: policy, HCfg: s.Cfg.HCfg})
-	if err != nil {
-		return sim.Result{}, err
+	errs := make([]error, len(uniq))
+	forEachParallel(len(uniq), func(i int) {
+		errs[i] = s.compute(uniq[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	s.results[key] = r
-	return r, nil
+	return nil
+}
+
+// forEachParallel invokes work(i) for every i in [0, n) from a pool of at
+// most GOMAXPROCS goroutines. It is the fan-out primitive shared by
+// Prefetch and the experiments that run non-session work (OPT replays,
+// region-scale sweeps) in parallel.
+func forEachParallel(n int, work func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			work(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				work(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// matrixPoints declares the datapoints of one scheme matrix: the RRIP
+// baseline plus every scheme, over apps x datasets under one reordering.
+func matrixPoints(datasets []string, reorderName string, appNames, schemes []string) []Datapoint {
+	var out []Datapoint
+	for _, app := range appNames {
+		for _, ds := range datasets {
+			out = append(out, Datapoint{DS: ds, Reorder: reorderName, App: app,
+				Layout: apps.LayoutMerged, Policy: "RRIP"})
+			for _, scheme := range schemes {
+				out = append(out, Datapoint{DS: ds, Reorder: reorderName, App: app,
+					Layout: apps.LayoutMerged, Policy: scheme})
+			}
+		}
+	}
+	return out
+}
+
+// tracePoints declares the LLC traces of the OPT study (apps x high-skew
+// datasets).
+func tracePoints() []Datapoint {
+	var out []Datapoint
+	for _, app := range apps.Names() {
+		for _, ds := range highSkewNames() {
+			out = append(out, Datapoint{DS: ds, App: app, Trace: true})
+		}
+	}
+	return out
 }
 
 // Experiment regenerates one table or figure.
@@ -140,27 +305,32 @@ type Experiment struct {
 	ID    string // paper artifact id: table1, fig5, ...
 	Title string
 	Run   func(s *Session, w io.Writer) error
+	// Points declares the simulation datapoints the experiment will read,
+	// for batch fan-out by RunAll (nil: the experiment does no session
+	// work, or does work — like fig10a's native timing — that must not be
+	// precomputed).
+	Points func() []Datapoint
 }
 
 // All returns the experiments in paper order.
 func All() []Experiment {
 	return []Experiment{
 		{ID: "table1", Title: "Table I: skew of the graph datasets", Run: runTable1},
-		{ID: "table4", Title: "Table IV: effect of Property Array merging", Run: runTable4},
-		{ID: "fig2", Title: "Fig. 2: LLC accesses and misses inside/outside the Property Array", Run: runFig2},
-		{ID: "fig5", Title: "Fig. 5: LLC miss reduction over RRIP", Run: runFig5},
-		{ID: "fig6", Title: "Fig. 6: speed-up over RRIP", Run: runFig6},
-		{ID: "fig7", Title: "Fig. 7: impact of GRASP features", Run: runFig7},
-		{ID: "fig8", Title: "Fig. 8: pinning-based schemes, high-skew datasets", Run: runFig8},
-		{ID: "fig9", Title: "Fig. 9: low-/no-skew datasets (fr, uni)", Run: runFig9},
+		{ID: "table4", Title: "Table IV: effect of Property Array merging", Run: runTable4, Points: table4Points},
+		{ID: "fig2", Title: "Fig. 2: LLC accesses and misses inside/outside the Property Array", Run: runFig2, Points: fig2Points},
+		{ID: "fig5", Title: "Fig. 5: LLC miss reduction over RRIP", Run: runFig5, Points: fig5Points},
+		{ID: "fig6", Title: "Fig. 6: speed-up over RRIP", Run: runFig6, Points: fig5Points},
+		{ID: "fig7", Title: "Fig. 7: impact of GRASP features", Run: runFig7, Points: fig7Points},
+		{ID: "fig8", Title: "Fig. 8: pinning-based schemes, high-skew datasets", Run: runFig8, Points: fig8Points},
+		{ID: "fig9", Title: "Fig. 9: low-/no-skew datasets (fr, uni)", Run: runFig9, Points: fig9Points},
 		{ID: "fig10a", Title: "Fig. 10a: net speed-up of reordering techniques (incl. cost)", Run: runFig10a},
-		{ID: "fig10b", Title: "Fig. 10b: GRASP on top of reordering techniques", Run: runFig10b},
-		{ID: "fig11", Title: "Fig. 11: misses eliminated over LRU (RRIP, GRASP, OPT)", Run: runFig11},
-		{ID: "table7", Title: "Table VII: misses eliminated over LRU across LLC sizes", Run: runTable7},
-		{ID: "noreorder", Title: "Extra: prior schemes without vertex reordering (Sec. V-A)", Run: runNoReorder},
-		{ID: "ablation-region", Title: "Extra: sensitivity to the High-Reuse-Region size", Run: runAblationRegion},
-		{ID: "ablation-bases", Title: "Extra: GRASP over LRU/PLRU/DIP base schemes (Sec. III-C)", Run: runAblationBases},
-		{ID: "ablation-ship", Title: "Extra: SHiP-PC vs SHiP-MEM signatures (Sec. II-F)", Run: runAblationSHiP},
+		{ID: "fig10b", Title: "Fig. 10b: GRASP on top of reordering techniques", Run: runFig10b, Points: fig10bPoints},
+		{ID: "fig11", Title: "Fig. 11: misses eliminated over LRU (RRIP, GRASP, OPT)", Run: runFig11, Points: tracePoints},
+		{ID: "table7", Title: "Table VII: misses eliminated over LRU across LLC sizes", Run: runTable7, Points: tracePoints},
+		{ID: "noreorder", Title: "Extra: prior schemes without vertex reordering (Sec. V-A)", Run: runNoReorder, Points: noReorderPoints},
+		{ID: "ablation-region", Title: "Extra: sensitivity to the High-Reuse-Region size", Run: runAblationRegion, Points: ablationRegionPoints},
+		{ID: "ablation-bases", Title: "Extra: GRASP over LRU/PLRU/DIP base schemes (Sec. III-C)", Run: runAblationBases, Points: ablationBasesPoints},
+		{ID: "ablation-ship", Title: "Extra: SHiP-PC vs SHiP-MEM signatures (Sec. II-F)", Run: runAblationSHiP, Points: ablationSHiPPoints},
 		{ID: "streaming", Title: "Extra: reordering staleness under graph updates (Sec. VI)", Run: runStreaming},
 	}
 }
@@ -182,6 +352,63 @@ func ids() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// RunObserver brackets each experiment executed by RunAll; either callback
+// may be nil.
+type RunObserver struct {
+	// Before runs immediately before the experiment's output is written.
+	Before func(e Experiment)
+	// After runs once the output is written, with the wall-clock time the
+	// experiment body took (excluding the shared prefetch phase).
+	After func(e Experiment, elapsed time.Duration)
+}
+
+// RunAll executes the experiments with batch fan-out: the union of their
+// declared datapoints is computed first on the session's parallel worker
+// pool (deduplicated, so datapoints shared between experiments — fig5/fig6,
+// fig11/table7 — are simulated once), then each experiment body runs in
+// paper order against the warm caches and writes to w. Because bodies run
+// sequentially against identical cached results, the per-experiment output
+// is byte-identical to a plain sequential run; experiments that time native
+// execution (fig10a) also see an otherwise-idle machine.
+func RunAll(s *Session, exps []Experiment, w io.Writer, obs RunObserver) error {
+	var points []Datapoint
+	for _, e := range exps {
+		if e.Points != nil {
+			points = append(points, e.Points()...)
+		}
+	}
+	if err := s.Prefetch(points); err != nil {
+		// Attribute the failure to the experiment that declared the bad
+		// datapoint: every point is cached (success or error) by now, so
+		// re-walking the declarations in order is instant and finds the
+		// same failure a sequential run would have reported first.
+		for _, e := range exps {
+			if e.Points == nil {
+				continue
+			}
+			for _, p := range e.Points() {
+				if perr := s.compute(p); perr != nil {
+					return fmt.Errorf("%s: %w", e.ID, perr)
+				}
+			}
+		}
+		return err
+	}
+	for _, e := range exps {
+		if obs.Before != nil {
+			obs.Before(e)
+		}
+		start := time.Now()
+		if err := e.Run(s, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if obs.After != nil {
+			obs.After(e, time.Since(start))
+		}
+	}
+	return nil
 }
 
 // highSkewNames returns the five main-evaluation dataset names in paper

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"grasp/internal/apps"
 	"grasp/internal/stats"
@@ -49,6 +50,7 @@ func TestExperimentRegistry(t *testing.T) {
 }
 
 func TestSessionCachesResults(t *testing.T) {
+	t.Parallel()
 	s := testSession()
 	r1, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "RRIP")
 	if err != nil {
@@ -61,12 +63,16 @@ func TestSessionCachesResults(t *testing.T) {
 	if r1.LLC.Misses != r2.LLC.Misses {
 		t.Fatal("cached result differs")
 	}
-	if len(s.results) != 1 {
-		t.Fatalf("expected 1 cached result, have %d", len(s.results))
+	if n := s.results.len(); n != 1 {
+		t.Fatalf("expected 1 cached result, have %d", n)
+	}
+	if n := s.SimRuns(); n != 1 {
+		t.Fatalf("expected 1 simulation run, have %d", n)
 	}
 }
 
 func TestTable1Output(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := runTable1(testSession(), &buf); err != nil {
 		t.Fatal(err)
@@ -80,6 +86,7 @@ func TestTable1Output(t *testing.T) {
 }
 
 func TestFig2Output(t *testing.T) {
+	t.Parallel()
 	s := testSession()
 	var buf bytes.Buffer
 	if err := runFig2(s, &buf); err != nil {
@@ -100,9 +107,14 @@ func TestFig2Output(t *testing.T) {
 }
 
 func TestFig5ShapeGRASPWins(t *testing.T) {
+	t.Parallel()
 	// The headline shape at reduced scale: averaged over the full matrix,
 	// GRASP eliminates misses relative to RRIP and beats Hawkeye.
 	s := testSession()
+	if err := s.Prefetch(matrixPoints(highSkewNames(), "DBG", apps.Names(),
+		[]string{"GRASP", "Hawkeye"})); err != nil {
+		t.Fatal(err)
+	}
 	var grasp, hawkeye []float64
 	for _, app := range apps.Names() {
 		for _, ds := range highSkewNames() {
@@ -132,11 +144,16 @@ func TestFig5ShapeGRASPWins(t *testing.T) {
 }
 
 func TestFig9ShapeGRASPRobust(t *testing.T) {
+	t.Parallel()
 	// On the no-skew dataset, GRASP must not cause a large slowdown
 	// (paper: max slowdown 0.1%; at 1/16 scale the skew of the synthetic
 	// datasets is weaker, so we allow 5%), while pinning is expected to do
 	// worse than GRASP on average.
 	s := testSession()
+	if err := s.Prefetch(matrixPoints([]string{"fr", "uni"}, "DBG", apps.Names(),
+		[]string{"GRASP", "PIN-100"})); err != nil {
+		t.Fatal(err)
+	}
 	var graspMin float64 = 1e9
 	var graspSum, pinSum float64
 	var n int
@@ -173,6 +190,7 @@ func TestFig9ShapeGRASPRobust(t *testing.T) {
 }
 
 func TestOPTStudyShape(t *testing.T) {
+	t.Parallel()
 	s := testSession()
 	data, err := runOPTStudy(s, s.Cfg.HCfg.LLC)
 	if err != nil {
@@ -208,6 +226,7 @@ func TestElimPct(t *testing.T) {
 
 // Smoke-run the fast experiments end to end.
 func TestExperimentsSmoke(t *testing.T) {
+	t.Parallel()
 	s := testSession()
 	for _, id := range []string{"table1", "fig2", "fig9", "streaming", "ablation-bases"} {
 		e, err := ByID(id)
@@ -225,6 +244,7 @@ func TestExperimentsSmoke(t *testing.T) {
 }
 
 func TestAblationRegionPeaksNearPaperDesign(t *testing.T) {
+	t.Parallel()
 	// The paper sizes the High Reuse Region at exactly one LLC; very large
 	// regions (4x) must not beat the paper's design point by much — they
 	// reintroduce self-thrashing among "protected" blocks.
@@ -248,6 +268,7 @@ func TestAblationRegionPeaksNearPaperDesign(t *testing.T) {
 }
 
 func TestStreamingExperimentOutput(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := runStreaming(testSession(), &buf); err != nil {
 		t.Fatal(err)
@@ -258,23 +279,29 @@ func TestStreamingExperimentOutput(t *testing.T) {
 }
 
 // TestAllExperimentsTinyScale executes every experiment end to end at 1/64
-// scale, exercising each harness body (output correctness is covered by
-// the targeted shape tests; this guards against harness regressions).
+// scale through RunAll, exercising the batch fan-out path and each harness
+// body (output correctness is covered by the targeted shape tests; this
+// guards against harness regressions).
 func TestAllExperimentsTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep skipped in -short mode")
 	}
+	t.Parallel()
 	s := NewSession(ScaledConfig(64))
-	for _, e := range All() {
-		e := e
-		t.Run(e.ID, func(t *testing.T) {
-			var buf bytes.Buffer
-			if err := e.Run(s, &buf); err != nil {
-				t.Fatalf("%s: %v", e.ID, err)
+	var buf bytes.Buffer
+	starts := make(map[string]int)
+	err := RunAll(s, All(), &buf, RunObserver{
+		Before: func(e Experiment) { starts[e.ID] = buf.Len() },
+		After: func(e Experiment, _ time.Duration) {
+			if buf.Len() == starts[e.ID] {
+				t.Errorf("%s produced no output", e.ID)
 			}
-			if buf.Len() == 0 {
-				t.Fatalf("%s produced no output", e.ID)
-			}
-		})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) != len(All()) {
+		t.Fatalf("ran %d experiments, want %d", len(starts), len(All()))
 	}
 }

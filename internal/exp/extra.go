@@ -20,28 +20,48 @@ import (
 // base replacement schemes, the PC- vs region-signature comparison for
 // SHiP, and the Sec. VI streaming-graph staleness study.
 
+// ablationRegionPoints declares the session datapoints of the region-size
+// ablation: the RRIP baselines (whose prefetch also prepares the shared
+// DBG workloads the scaled runs replay).
+func ablationRegionPoints() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", []string{"PR"}, nil)
+}
+
 // runAblationRegion sweeps the High/Moderate Reuse Region size (the
 // paper's design point: exactly LLC-sized regions) on PR over the
-// high-skew datasets.
+// high-skew datasets. The scaled-region runs bypass the Session cache
+// (the knob is not part of sim.Spec), so the dataset x scale grid fans out
+// over the worker pool directly.
 func runAblationRegion(s *Session, w io.Writer) error {
+	if err := s.Prefetch(ablationRegionPoints()); err != nil {
+		return err
+	}
 	scales := []float64{0.25, 0.5, 1, 2, 4}
-	t := stats.NewTable("Dataset", "0.25x", "0.5x", "1x (paper)", "2x", "4x")
-	for _, dsName := range highSkewNames() {
+	datasets := highSkewNames()
+	cells := make([]sim.Result, len(datasets)*len(scales))
+	errs := make([]error, len(cells))
+	forEachParallel(len(cells), func(i int) {
+		dsName, scale := datasets[i/len(scales)], scales[i%len(scales)]
 		wl, err := s.Workload(dsName, "DBG", false)
 		if err != nil {
-			return err
+			errs[i] = err
+			return
 		}
+		cells[i], errs[i] = runWithRegionScale(wl, s.Cfg.HCfg, scale)
+	})
+	t := stats.NewTable("Dataset", "0.25x", "0.5x", "1x (paper)", "2x", "4x")
+	for di, dsName := range datasets {
 		base, err := s.Result(dsName, "DBG", "PR", apps.LayoutMerged, "RRIP")
 		if err != nil {
 			return err
 		}
 		row := []string{dsName}
-		for _, scale := range scales {
-			r, err := runWithRegionScale(wl, s.Cfg.HCfg, scale)
-			if err != nil {
-				return err
+		for si := range scales {
+			i := di*len(scales) + si
+			if errs[i] != nil {
+				return errs[i]
 			}
-			row = append(row, fmt.Sprintf("%.1f", r.MissReductionPctOver(base)))
+			row = append(row, fmt.Sprintf("%.1f", cells[i].MissReductionPctOver(base)))
 		}
 		t.AddRow(row...)
 	}
@@ -76,16 +96,33 @@ func runWithRegionScale(wl *sim.Workload, hcfg cache.HierarchyConfig, scale floa
 	return sim.Result{L1: h.L1.Stats, L2: h.L2.Stats, LLC: h.LLC.Stats, Cycles: h.MemoryCycles()}, nil
 }
 
+// basePairs are the (GRASP variant, base scheme) pairs of the Sec. III-C
+// generality ablation.
+var basePairs = [][2]string{
+	{"GRASP", "RRIP"},
+	{"GRASP-LRU", "LRU"},
+	{"GRASP-PLRU", "PLRU"},
+	{"GRASP-DIP", "DIP"},
+}
+
+// ablationBasesPoints declares every variant and base scheme on PR over
+// the high-skew datasets.
+func ablationBasesPoints() []Datapoint {
+	schemes := []string{}
+	for _, p := range basePairs {
+		schemes = append(schemes, p[0], p[1])
+	}
+	return matrixPoints(highSkewNames(), "DBG", []string{"PR"}, schemes)
+}
+
 // runAblationBases evaluates GRASP over its alternative base schemes
 // (Sec. III-C: "not fundamentally dependent on RRIP"), reporting speed-up
 // of each GRASP variant over ITS OWN base scheme.
 func runAblationBases(s *Session, w io.Writer) error {
-	pairs := [][2]string{
-		{"GRASP", "RRIP"},
-		{"GRASP-LRU", "LRU"},
-		{"GRASP-PLRU", "PLRU"},
-		{"GRASP-DIP", "DIP"},
+	if err := s.Prefetch(ablationBasesPoints()); err != nil {
+		return err
 	}
+	pairs := basePairs
 	t := stats.NewTable("Dataset", "over RRIP", "over LRU", "over PLRU", "over DIP")
 	agg := make(map[string][]float64)
 	for _, dsName := range highSkewNames() {
@@ -117,10 +154,20 @@ func runAblationBases(s *Session, w io.Writer) error {
 	return err
 }
 
+// ablationSHiPPoints declares both SHiP signature variants plus the RRIP
+// baseline over the full high-skew matrix.
+func ablationSHiPPoints() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", apps.Names(),
+		[]string{"SHiP-PC", "SHiP-MEM"})
+}
+
 // runAblationSHiP compares SHiP-PC (PC signatures, useless for graph
 // analytics per Sec. II-F) against the SHiP-MEM variant the paper
 // evaluates.
 func runAblationSHiP(s *Session, w io.Writer) error {
+	if err := s.Prefetch(ablationSHiPPoints()); err != nil {
+		return err
+	}
 	t := stats.NewTable("App", "Dataset", "SHiP-PC", "SHiP-MEM")
 	var pc, mm []float64
 	for _, app := range apps.Names() {

@@ -23,41 +23,61 @@ type optDatapoint struct {
 
 // runOPTStudy collects the LLC trace of every (app, high-skew dataset)
 // pair under DBG reordering and replays it under LRU, RRIP and GRASP plus
-// Belady's OPT at the given LLC size.
+// Belady's OPT at the given LLC size. The per-pair work (trace collection
+// via the session's singleflight cache, then four independent replays) fans
+// out over the worker pool; results land in a keyed map, so the consuming
+// experiments iterate them in deterministic order regardless of completion
+// order.
 func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, error) {
-	out := make(map[[2]string]optDatapoint)
 	rripInfo, _ := sim.PolicyByName("RRIP")
 	graspInfo, _ := sim.PolicyByName("GRASP")
 	lruInfo, _ := sim.PolicyByName("LRU")
+	type pair struct{ app, ds string }
+	var pairs []pair
 	for _, app := range apps.Names() {
 		for _, ds := range highSkewNames() {
-			trace, bounds, err := s.LLCTrace(ds, app)
-			if err != nil {
-				return nil, err
-			}
-			var dp optDatapoint
-			st, err := sim.ReplayTrace(trace, llcCfg, lruInfo, nil)
-			if err != nil {
-				return nil, err
-			}
-			dp.lru = st.Misses
-			st, err = sim.ReplayTrace(trace, llcCfg, rripInfo, nil)
-			if err != nil {
-				return nil, err
-			}
-			dp.rrip = st.Misses
-			st, err = sim.ReplayTrace(trace, llcCfg, graspInfo, bounds)
-			if err != nil {
-				return nil, err
-			}
-			dp.grasp = st.Misses
-			blocks := make([]uint64, len(trace))
-			for i, a := range trace {
-				blocks[i] = cache.BlockAddr(a)
-			}
-			dp.opt = policy.SimulateOPT(blocks, llcCfg.Sets(), llcCfg.Ways).Misses
-			out[[2]string{app, ds}] = dp
+			pairs = append(pairs, pair{app, ds})
 		}
+	}
+	dps := make([]optDatapoint, len(pairs))
+	errs := make([]error, len(pairs))
+	forEachParallel(len(pairs), func(i int) {
+		app, ds := pairs[i].app, pairs[i].ds
+		trace, bounds, err := s.LLCTrace(ds, app)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		var dp optDatapoint
+		for _, rp := range []struct {
+			misses *uint64
+			pinfo  sim.PolicyInfo
+			abrs   [][2]uint64
+		}{
+			{&dp.lru, lruInfo, nil},
+			{&dp.rrip, rripInfo, nil},
+			{&dp.grasp, graspInfo, bounds},
+		} {
+			st, err := sim.ReplayTrace(trace, llcCfg, rp.pinfo, rp.abrs)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			*rp.misses = st.Misses
+		}
+		blocks := make([]uint64, len(trace))
+		for j, a := range trace {
+			blocks[j] = cache.BlockAddr(a)
+		}
+		dp.opt = policy.SimulateOPT(blocks, llcCfg.Sets(), llcCfg.Ways).Misses
+		dps[i] = dp
+	})
+	out := make(map[[2]string]optDatapoint, len(pairs))
+	for i, p := range pairs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[[2]string{p.app, p.ds}] = dps[i]
 	}
 	return out, nil
 }
@@ -103,9 +123,14 @@ func runFig11(s *Session, w io.Writer) error {
 		}
 		addGroup(app, keys)
 	}
+	// Deterministic iteration order: float summation order must not depend
+	// on map traversal, or the printed average could flip at a rounding
+	// boundary between runs.
 	var all [][2]string
-	for k := range data {
-		all = append(all, k)
+	for _, app := range apps.Names() {
+		for _, ds := range highSkewNames() {
+			all = append(all, [2]string{app, ds})
+		}
 	}
 	addGroup("avg(all)", all)
 	if _, err := fmt.Fprintln(w, "% misses eliminated over LRU"); err != nil {
@@ -150,10 +175,13 @@ func runTable7(s *Session, w io.Writer) error {
 			return err
 		}
 		var r, g, o []float64
-		for _, dp := range data {
-			r = append(r, elimPct(dp.rrip, dp.lru))
-			g = append(g, elimPct(dp.grasp, dp.lru))
-			o = append(o, elimPct(dp.opt, dp.lru))
+		for _, app := range apps.Names() {
+			for _, ds := range highSkewNames() {
+				dp := data[[2]string{app, ds}]
+				r = append(r, elimPct(dp.rrip, dp.lru))
+				g = append(g, elimPct(dp.grasp, dp.lru))
+				o = append(o, elimPct(dp.opt, dp.lru))
+			}
 		}
 		rows["RRIP"] = append(rows["RRIP"], stats.Mean(r))
 		rows["GRASP"] = append(rows["GRASP"], stats.Mean(g))

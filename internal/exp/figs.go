@@ -10,9 +10,15 @@ import (
 
 // schemeMatrix runs schemes over all (app, dataset) datapoints with the
 // given reordering and returns per-scheme slices of the metric values in
-// (app-major, dataset-minor) order.
+// (app-major, dataset-minor) order. The full matrix is prefetched on the
+// worker pool first, so the sequential rendering loop below only reads
+// cached results (and reports the first error at the same datapoint a
+// fully sequential pass would).
 func (s *Session) schemeMatrix(datasets []string, reorderName string, schemes []string,
 	speedup bool, w io.Writer, title string) error {
+	if err := s.Prefetch(matrixPoints(datasets, reorderName, apps.Names(), schemes)); err != nil {
+		return err
+	}
 	t := stats.NewTable(append([]string{"App", "Dataset"}, schemes...)...)
 	agg := make(map[string][]float64)
 	for _, app := range apps.Names() {
@@ -61,6 +67,34 @@ func (s *Session) schemeMatrix(datasets []string, reorderName string, schemes []
 
 // priorSchemes are the state-of-the-art history-based schemes of Figs. 5-6.
 var priorSchemes = []string{"SHiP-MEM", "Hawkeye", "Leeway", "GRASP"}
+
+// Datapoint declarations for RunAll's batch fan-out. Fig. 5 and Fig. 6
+// share one declaration: they read identical simulations and differ only
+// in the reported metric, so a batch containing both simulates the matrix
+// once.
+func fig5Points() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", apps.Names(), priorSchemes)
+}
+
+func fig7Points() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", apps.Names(),
+		[]string{"RRIP+Hints", "GRASP (Insertion-Only)", "GRASP"})
+}
+
+func fig8Points() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", apps.Names(),
+		[]string{"PIN-25", "PIN-50", "PIN-75", "PIN-100", "GRASP"})
+}
+
+func fig9Points() []Datapoint {
+	return matrixPoints([]string{"fr", "uni"}, "DBG", apps.Names(),
+		[]string{"PIN-75", "PIN-100", "GRASP"})
+}
+
+func noReorderPoints() []Datapoint {
+	return matrixPoints(highSkewNames(), "Identity", apps.Names(),
+		[]string{"SHiP-MEM", "Hawkeye", "Leeway", "GRASP"})
+}
 
 // runFig5 regenerates Fig. 5: % LLC misses eliminated over the RRIP
 // baseline (DBG reordering). Paper averages: GRASP +6.4, Leeway +1.1,

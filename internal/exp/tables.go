@@ -23,12 +23,32 @@ func runTable1(s *Session, w io.Writer) error {
 	return err
 }
 
+// table4Points declares Table IV's matrix: both layouts under RRIP for the
+// apps with a merging opportunity.
+func table4Points() []Datapoint {
+	var out []Datapoint
+	for _, app := range apps.Names() {
+		if app == "BC" || app == "Radii" {
+			continue
+		}
+		for _, ds := range highSkewNames() {
+			out = append(out,
+				Datapoint{DS: ds, Reorder: "Identity", App: app, Layout: apps.LayoutSplit, Policy: "RRIP"},
+				Datapoint{DS: ds, Reorder: "Identity", App: app, Layout: apps.LayoutMerged, Policy: "RRIP"})
+		}
+	}
+	return out
+}
+
 // runTable4 regenerates Table IV: speed-up of the merged Property-Array
 // layout over the split layout for the apps with a merging opportunity
 // (SSSP, PR, PRD), under the RRIP baseline with no reordering (the
 // optimization is applied to the original Ligra implementation).
 // Paper: SSSP 3-8%, PR 40-52%, PRD 14-49%; BC and Radii: no opportunity.
 func runTable4(s *Session, w io.Writer) error {
+	if err := s.Prefetch(table4Points()); err != nil {
+		return err
+	}
 	t := stats.NewTable("Application", "Merging?", "Speed-up range across datasets")
 	for _, app := range apps.Names() {
 		if app == "BC" || app == "Radii" {
@@ -61,11 +81,27 @@ func runTable4(s *Session, w io.Writer) error {
 	return err
 }
 
+// fig2Points declares Fig. 2's datapoints: the RRIP baseline on pl and tw
+// across all applications.
+func fig2Points() []Datapoint {
+	var out []Datapoint
+	for _, ds := range []string{"pl", "tw"} {
+		for _, app := range apps.Names() {
+			out = append(out, Datapoint{DS: ds, Reorder: "Identity", App: app,
+				Layout: apps.LayoutMerged, Policy: "RRIP"})
+		}
+	}
+	return out
+}
+
 // runFig2 regenerates Fig. 2: the classification of LLC accesses and
 // misses as falling within or outside the Property Array, normalized to
 // total LLC accesses, for the pl and tw datasets across all applications.
 // Paper: the Property Array accounts for 78-94% of LLC accesses.
 func runFig2(s *Session, w io.Writer) error {
+	if err := s.Prefetch(fig2Points()); err != nil {
+		return err
+	}
 	t := stats.NewTable("Dataset", "App", "Acc-in(%)", "Acc-out(%)", "Miss-in(%)", "Miss-out(%)")
 	for _, ds := range []string{"pl", "tw"} {
 		for _, app := range apps.Names() {

@@ -12,6 +12,7 @@
 package ligra
 
 import (
+	"grasp/internal/cache"
 	"grasp/internal/graph"
 	"grasp/internal/mem"
 )
@@ -19,38 +20,72 @@ import (
 // Tracer forwards logical memory accesses to a sink. The zero Tracer (nil
 // sink) swallows accesses with minimal overhead, which is how algorithms
 // run natively.
+//
+// The dominant sink in simulation is *cache.Hierarchy, so the tracer keeps
+// a concrete pointer to it when possible: every traced memory word then
+// reaches the hierarchy through a direct call instead of an interface
+// dispatch. The method bodies are shaped around the compiler's inlining
+// budget — Read/Write inline a cheap is-anyone-listening guard into the
+// traversal loops (so native execution pays one predicted branch per
+// logical access), while the dispatch itself is one call deep on every
+// sink kind.
 type Tracer struct {
-	sink mem.Sink
+	sink   mem.Sink
+	h      *cache.Hierarchy // non-nil fast path when sink is a hierarchy
+	active bool             // h != nil || sink != nil
 }
 
 // NewTracer creates a tracer; sink may be nil for native execution.
-func NewTracer(sink mem.Sink) *Tracer { return &Tracer{sink: sink} }
+func NewTracer(sink mem.Sink) *Tracer {
+	t := &Tracer{sink: sink, active: sink != nil}
+	if h, ok := sink.(*cache.Hierarchy); ok {
+		t.h = h
+	}
+	return t
+}
+
+// dispatch forwards one access over the fastest available path. It is kept
+// out of the exported methods so their guard branch stays inlinable.
+func (t *Tracer) dispatch(addr uint64, pc uint32, write, prop bool) {
+	if t.h != nil {
+		t.h.Access(mem.Access{Addr: addr, PC: pc, Write: write, Property: prop})
+		return
+	}
+	t.sink.Access(mem.Access{Addr: addr, PC: pc, Write: write, Property: prop})
+}
 
 // Read emits a read of element i of a.
 func (t *Tracer) Read(a *mem.Array, i uint64, pc uint32) {
-	if t.sink != nil {
-		t.sink.Access(mem.Access{Addr: a.Addr(i), PC: pc, Property: a.Property})
+	if !t.active {
+		return
 	}
+	t.dispatch(a.Addr(i), pc, false, a.Property)
 }
 
 // ReadOff emits a read at byte offset off within element i of a (merged
-// multi-field property elements).
+// multi-field property elements). The Off variants exceed the inlining
+// budget either way, so they dispatch directly from their own frame.
 func (t *Tracer) ReadOff(a *mem.Array, i, off uint64, pc uint32) {
-	if t.sink != nil {
+	if t.h != nil {
+		t.h.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Property: a.Property})
+	} else if t.sink != nil {
 		t.sink.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Property: a.Property})
 	}
 }
 
 // Write emits a write of element i of a.
 func (t *Tracer) Write(a *mem.Array, i uint64, pc uint32) {
-	if t.sink != nil {
-		t.sink.Access(mem.Access{Addr: a.Addr(i), PC: pc, Write: true, Property: a.Property})
+	if !t.active {
+		return
 	}
+	t.dispatch(a.Addr(i), pc, true, a.Property)
 }
 
 // WriteOff emits a write at byte offset off within element i of a.
 func (t *Tracer) WriteOff(a *mem.Array, i, off uint64, pc uint32) {
-	if t.sink != nil {
+	if t.h != nil {
+		t.h.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Write: true, Property: a.Property})
+	} else if t.sink != nil {
 		t.sink.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Write: true, Property: a.Property})
 	}
 }

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"grasp/internal/apps"
@@ -28,12 +29,12 @@ type PolicyInfo struct {
 	New       func(sets, ways uint32) cache.Policy
 }
 
-// Policies returns the full registry: the prior schemes from
-// internal/policy plus the GRASP variants from internal/core.
-func Policies() []PolicyInfo {
+// registry is the immutable policy registry, built exactly once: resolving
+// a policy is on the per-simulation setup path and was reallocating the
+// whole slice (plus closures) on every PolicyByName call.
+var registry = sync.OnceValues(func() ([]PolicyInfo, map[string]PolicyInfo) {
 	var out []PolicyInfo
 	for _, c := range policy.All() {
-		c := c
 		needs := len(c.Name) >= 4 && c.Name[:4] == "PIN-" // XMem uses the GRASP interface
 		out = append(out, PolicyInfo{Name: c.Name, NeedsABRs: needs, New: c.New})
 	}
@@ -51,15 +52,26 @@ func Policies() []PolicyInfo {
 		PolicyInfo{Name: "GRASP-DIP", NeedsABRs: true,
 			New: func(s, w uint32) cache.Policy { return core.NewDIPPolicy(s, w) }},
 	)
-	return out
+	byName := make(map[string]PolicyInfo, len(out))
+	for _, p := range out {
+		byName[p.Name] = p
+	}
+	return out, byName
+})
+
+// Policies returns the full registry: the prior schemes from
+// internal/policy plus the GRASP variants from internal/core. The returned
+// slice is shared; callers must not modify it.
+func Policies() []PolicyInfo {
+	all, _ := registry()
+	return all
 }
 
 // PolicyByName resolves a policy from the registry.
 func PolicyByName(name string) (PolicyInfo, error) {
-	for _, p := range Policies() {
-		if p.Name == name {
-			return p, nil
-		}
+	_, byName := registry()
+	if p, ok := byName[name]; ok {
+		return p, nil
 	}
 	return PolicyInfo{}, fmt.Errorf("sim: unknown policy %q", name)
 }

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Record a performance snapshot of the experiment engine into
+# BENCH_<date>.json (run from anywhere inside the repo).
+#
+#   scripts/bench.sh            # full sweep at 1/8 scale
+#   SCALE=32 scripts/bench.sh   # cheaper sweep
+#
+# The JSON records the parallel prefetch phase, per-experiment render
+# times and the total, plus GOMAXPROCS — compare files across PRs to
+# track the perf trajectory.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+scale="${SCALE:-8}"
+
+go build ./...
+echo "running full experiment sweep at 1/$scale scale..." >&2
+go run ./cmd/graspsim -exp all -scale "$scale" -bench-json "$out" > /dev/null
+
+# Hot-path micro smoke (not recorded; printed for the log).
+go test -run '^$' -bench 'PolicyGRASP$|PageRankSimulated$' -benchtime=1x .
+
+echo "wrote $out" >&2
