@@ -6,6 +6,7 @@
 //
 //	cachesim -dataset tw -app PR -policy GRASP -reorder DBG
 //	cachesim -dataset uni -app Radii -policy PIN-100 -arrays
+//	cachesim -graph web-Google.txt -app TC -policy GRASP
 package main
 
 import (
@@ -51,8 +52,9 @@ func (s *arraySink) Access(a mem.Access) {
 }
 
 func main() {
-	dsName := flag.String("dataset", "tw", "dataset name")
-	appName := flag.String("app", "PR", "application: BC, SSSP, PR, PRD, Radii")
+	dsName := flag.String("dataset", "tw", "dataset name (or a graph-file path; see -graph)")
+	graphSpec := flag.String("graph", "", "simulate this graph file (.txt/.el/.wel/.mtx/.gcsr) instead of -dataset")
+	appName := flag.String("app", "PR", fmt.Sprintf("application, one of %v", apps.ExtendedNames()))
 	polName := flag.String("policy", "GRASP", "LLC policy (see sim.Policies)")
 	reorderName := flag.String("reorder", "DBG", "reordering: Identity, Sort, HubSort, DBG, Gorder, Gorder+DBG")
 	scale := flag.Uint("scale", 1, "dataset scale divisor")
@@ -60,9 +62,17 @@ func main() {
 	arrays := flag.Bool("arrays", false, "print the per-array LLC breakdown")
 	flag.Parse()
 
-	ds, err := graph.DatasetByName(*dsName)
+	spec := *dsName
+	if *graphSpec != "" {
+		spec = *graphSpec
+	}
+	ds, err := graph.Resolve(spec)
 	if err != nil {
 		fatal(err)
+	}
+	if ds.Kind == graph.KindFile && *scale > 1 {
+		fmt.Fprintf(os.Stderr,
+			"cachesim: note: -scale %d shrinks only the cache hierarchy; the file graph always loads at full size\n", *scale)
 	}
 	w, err := sim.PrepareWorkload(ds, *reorderName, *appName == "SSSP", uint32(*scale))
 	if err != nil {
@@ -114,7 +124,7 @@ func main() {
 	app.Run(ligra.NewTracer(sink))
 
 	fmt.Printf("workload: %s/%s reorder=%s layout=%v policy=%s (reorder cost %v)\n",
-		*dsName, *appName, *reorderName, layout, *polName, w.ReorderCost.Round(1000))
+		ds.Name, *appName, *reorderName, layout, *polName, w.ReorderCost.Round(1000))
 	fmt.Printf("graph:    %v\n", w.Graph)
 	fmt.Printf("L1:  %9d accesses, %9d misses (%.1f%%)\n",
 		sink.l1.Stats.Accesses(), sink.l1.Stats.Misses, 100*sink.l1.Stats.MissRatio())

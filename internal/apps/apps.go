@@ -68,6 +68,10 @@ func New(name string, fg *ligra.Graph, layout Layout) (App, error) {
 		return NewBFS(fg, 0), nil
 	case "CC":
 		return NewCC(fg), nil
+	case "KCore":
+		return NewKCore(fg), nil
+	case "TC":
+		return NewTC(fg), nil
 	}
 	return nil, fmt.Errorf("apps: unknown application %q", name)
 }
@@ -77,5 +81,6 @@ func New(name string, fg *ligra.Graph, layout Layout) (App, error) {
 func Names() []string { return []string{"BC", "SSSP", "PR", "PRD", "Radii"} }
 
 // ExtendedNames additionally includes the extension workloads built on the
-// same framework (BFS, CC) that are not part of the paper's evaluation.
-func ExtendedNames() []string { return append(Names(), "BFS", "CC") }
+// same framework (BFS, CC, KCore, TC) that are not part of the paper's
+// evaluation.
+func ExtendedNames() []string { return append(Names(), "BFS", "CC", "KCore", "TC") }

@@ -154,7 +154,7 @@ func TestExtendedRegistry(t *testing.T) {
 			t.Fatalf("%s: traced no accesses", name)
 		}
 	}
-	if len(ExtendedNames()) != 7 {
+	if len(ExtendedNames()) != 9 {
 		t.Fatalf("extended names = %v", ExtendedNames())
 	}
 }

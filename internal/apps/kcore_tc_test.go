@@ -1,0 +1,190 @@
+package apps
+
+import (
+	"testing"
+
+	"grasp/internal/graph"
+	"grasp/internal/ligra"
+)
+
+// refCoreness is an independent peeling implementation with the same
+// multigraph semantics as KCore: the undirected degree of v counts every
+// incident directed-edge endpoint (a self-loop contributes 2), and
+// removing v decrements each alive neighbor once per connecting edge.
+func refCoreness(g *graph.CSR) []uint32 {
+	n := g.NumVertices()
+	deg := make([]int64, n)
+	for v := uint32(0); v < n; v++ {
+		deg[v] = int64(g.OutDegree(v)) + int64(g.InDegree(v))
+	}
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	core := make([]uint32, n)
+	remaining := n
+	for k := uint32(1); remaining > 0; k++ {
+		for {
+			removed := false
+			for v := uint32(0); v < n; v++ {
+				if !alive[v] || deg[v] >= int64(k) {
+					continue
+				}
+				alive[v] = false
+				core[v] = k - 1
+				remaining--
+				removed = true
+				for _, u := range g.OutNeighbors(v) {
+					if alive[u] {
+						deg[u]--
+					}
+				}
+				for _, u := range g.InNeighbors(v) {
+					if alive[u] {
+						deg[u]--
+					}
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	return core
+}
+
+// refTriangles brute-force counts triangles in the undirected simple graph
+// underlying g: unordered triples {u, v, w} with all three edges present.
+func refTriangles(g *graph.CSR) uint64 {
+	n := g.NumVertices()
+	adj := make([]map[uint32]bool, n)
+	for v := uint32(0); v < n; v++ {
+		adj[v] = make(map[uint32]bool)
+	}
+	addEdge := func(a, b uint32) {
+		if a != b {
+			adj[a][b] = true
+			adj[b][a] = true
+		}
+	}
+	for v := uint32(0); v < n; v++ {
+		for _, u := range g.OutNeighbors(v) {
+			addEdge(v, u)
+		}
+	}
+	var total uint64
+	for u := uint32(0); u < n; u++ {
+		for v := range adj[u] {
+			if v <= u {
+				continue
+			}
+			for w := range adj[v] {
+				if w <= v {
+					continue
+				}
+				if adj[u][w] {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+func TestKCoreMatchesReferencePeeling(t *testing.T) {
+	for _, g := range []*graph.CSR{
+		graph.GenZipf(300, 6, 0.9, 41, false),
+		graph.GenRMATDefault(8, 5, 43, false),
+		graph.GenUniform(200, 4, 45, false),
+		graph.GenGrid(8, 9),
+		graph.GenStar(30),
+	} {
+		kc := NewKCore(ligra.NewGraph(g))
+		kc.Run(nativeTracer())
+		want := refCoreness(g)
+		for v := range want {
+			if kc.Coreness[v] != want[v] {
+				t.Fatalf("%v: coreness[%d] = %d, want %d", g, v, kc.Coreness[v], want[v])
+			}
+		}
+	}
+}
+
+func TestKCoreOnCompleteGraph(t *testing.T) {
+	// K5 as a directed complete graph: undirected degree 8, coreness 8 for
+	// every vertex under the multigraph degree definition (each unordered
+	// pair contributes two directed edges).
+	g := graph.GenComplete(5)
+	kc := NewKCore(ligra.NewGraph(g))
+	kc.Run(nativeTracer())
+	want := refCoreness(g)
+	for v := range want {
+		if kc.Coreness[v] != want[v] {
+			t.Fatalf("coreness[%d] = %d, want %d", v, kc.Coreness[v], want[v])
+		}
+	}
+}
+
+func TestTCCountsKnownGraphs(t *testing.T) {
+	// A triangle plus a pendant edge: exactly one triangle.
+	tri, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTC(ligra.NewGraph(tri))
+	tc.Run(nativeTracer())
+	if tc.Total != 1 {
+		t.Fatalf("triangle graph: Total = %d, want 1", tc.Total)
+	}
+
+	// Complete graph on 6 vertices: C(6,3) = 20 triangles.
+	tc = NewTC(ligra.NewGraph(graph.GenComplete(6)))
+	tc.Run(nativeTracer())
+	if tc.Total != 20 {
+		t.Fatalf("K6: Total = %d, want 20", tc.Total)
+	}
+
+	// A path has none.
+	tc = NewTC(ligra.NewGraph(graph.GenPath(10)))
+	tc.Run(nativeTracer())
+	if tc.Total != 0 {
+		t.Fatalf("path: Total = %d, want 0", tc.Total)
+	}
+}
+
+func TestTCMatchesBruteForce(t *testing.T) {
+	for _, g := range []*graph.CSR{
+		graph.GenZipf(150, 6, 1.0, 51, false), // skewed, parallel edges, self-loops
+		graph.GenRMATDefault(7, 4, 53, false),
+		graph.GenUniform(120, 5, 55, false),
+		graph.GenGrid(6, 7),
+	} {
+		tc := NewTC(ligra.NewGraph(g))
+		tc.Run(nativeTracer())
+		if want := refTriangles(g); tc.Total != want {
+			t.Fatalf("%v: Total = %d, want %d", g, tc.Total, want)
+		}
+		var sum uint64
+		for _, c := range tc.Count {
+			sum += c
+		}
+		if sum != tc.Total {
+			t.Fatalf("per-vertex counts sum to %d, Total = %d", sum, tc.Total)
+		}
+	}
+}
+
+// Repeated Run calls must be idempotent (sim.Run constructs fresh apps, but
+// the API allows reuse).
+func TestTCRunIdempotent(t *testing.T) {
+	g := graph.GenRMATDefault(6, 4, 57, false)
+	tc := NewTC(ligra.NewGraph(g))
+	tc.Run(nativeTracer())
+	first := tc.Total
+	tc.Run(nativeTracer())
+	if tc.Total != first {
+		t.Fatalf("second run Total = %d, want %d", tc.Total, first)
+	}
+}

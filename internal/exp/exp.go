@@ -159,11 +159,12 @@ func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
 }
 
 // Workload returns the prepared (dataset, reorder) pair, preparing and
-// caching it on first use.
+// caching it on first use. dsName goes through the dataset registry's
+// resolver, so it can be a paper dataset name or a graph-file path.
 func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Workload, error) {
 	key := fmt.Sprintf("%s|%s|%v", dsName, reorderName, weighted)
 	return s.workloads.do(key, func() (*sim.Workload, error) {
-		ds, err := graph.DatasetByName(dsName)
+		ds, err := graph.Resolve(dsName)
 		if err != nil {
 			return nil, err
 		}
@@ -332,6 +333,7 @@ func All() []Experiment {
 		{ID: "ablation-bases", Title: "Extra: GRASP over LRU/PLRU/DIP base schemes (Sec. III-C)", Run: runAblationBases, Points: ablationBasesPoints},
 		{ID: "ablation-ship", Title: "Extra: SHiP-PC vs SHiP-MEM signatures (Sec. II-F)", Run: runAblationSHiP, Points: ablationSHiPPoints},
 		{ID: "streaming", Title: "Extra: reordering staleness under graph updates (Sec. VI)", Run: runStreaming},
+		{ID: "scenarios", Title: "Extra: every policy on the extension workloads (KCore, TC)", Run: runScenarios, Points: scenarioPoints},
 	}
 }
 

@@ -34,7 +34,8 @@ func TestScaledConfig(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	ids := []string{"table1", "table4", "fig2", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10a", "fig10b", "fig11", "table7", "noreorder",
-		"ablation-region", "ablation-bases", "ablation-ship", "streaming"}
+		"ablation-region", "ablation-bases", "ablation-ship", "streaming",
+		"scenarios"}
 	for _, id := range ids {
 		e, err := ByID(id)
 		if err != nil {

@@ -65,6 +65,9 @@ func ReadEdgeList(r io.Reader) (*CSR, error) {
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("graph: empty edge list")
 	}
+	if err := checkVertexBound(uint64(maxID)+1, len(edges), "edge list"); err != nil {
+		return nil, err
+	}
 	return FromEdges(maxID+1, edges, weighted)
 }
 

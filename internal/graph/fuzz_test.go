@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Fuzz targets for every ingestion entry point: arbitrary (truncated,
+// corrupt, adversarial) input must produce an error, never a panic or an
+// unbounded allocation. Successful parses must satisfy the CSR invariants
+// and survive a binary round trip. A committed seed corpus under
+// testdata/fuzz/ pins the known-hostile inputs (notably the lying-header
+// GCSR repro that motivated the chunked ReadFrom) so `go test` replays
+// them on every run.
+
+// hostileGCSRHeader is the original ReadFrom DoS repro: a 24-byte file
+// whose header declares 2^32-1 vertices and 2^48 edges, which the
+// pre-validation reader turned into ~32GB of up-front allocations.
+func hostileGCSRHeader() []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	binary.Write(&b, binary.LittleEndian, uint32(formatVersion))
+	binary.Write(&b, binary.LittleEndian, uint32(0xFFFF_FFFF)) // n
+	binary.Write(&b, binary.LittleEndian, uint64(1)<<48)       // m
+	binary.Write(&b, binary.LittleEndian, uint32(0))           // flags
+	return b.Bytes()
+}
+
+func FuzzReadFrom(f *testing.F) {
+	for _, g := range []*CSR{GenPath(5), GenStar(4), GenRMATDefault(4, 3, 3, true)} {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+	}
+	f.Add(hostileGCSRHeader())
+	f.Add([]byte("GCSR"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadFrom accepted an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if _, werr := g.WriteTo(&buf); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		if _, rerr := ReadFrom(&buf); rerr != nil {
+			t.Fatalf("round-trip read failed: %v", rerr)
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n% comment\n0 1 7\n1 0 -3\n"))
+	f.Add([]byte("5 900\n"))
+	f.Add([]byte("0 4000000000\n"))           // sparse-ID bound repro
+	f.Add([]byte("0 4294967295\n"))           // maxID+1 wraps uint32
+	f.Add([]byte("18446744073709551615 0\n")) // beyond uint32
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadEdgeList accepted an invalid graph: %v", verr)
+		}
+		if uint64(g.NumVertices()) > maxIngestVertices(int(g.NumEdges())) {
+			t.Fatalf("vertex bound not enforced: %v", g)
+		}
+	})
+}
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer symmetric\n3 3 2\n2 1 4\n3 3 1\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 2.5\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n4000000000 4000000000 1\n1 1\n")) // hostile dims
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1e300\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadMatrixMarket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadMatrixMarket accepted an invalid graph: %v", verr)
+		}
+	})
+}
+
+// FuzzReadGraph drives the sniffing front door with the union of the other
+// targets' shapes.
+func FuzzReadGraph(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := GenPath(4).WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"))
+	f.Add([]byte("0 1\n"))
+	f.Add(hostileGCSRHeader())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadGraph accepted an invalid graph: %v", verr)
+		}
+	})
+}

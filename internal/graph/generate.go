@@ -264,7 +264,8 @@ type Dataset struct {
 	Alpha     float64 // Zipf exponent for power-law kinds
 	Scale     uint    // RMAT scale (Vertices = 1<<Scale) for RMAT kind
 	Seed      uint64
-	HighSkew  bool // true for the five main-evaluation datasets
+	HighSkew  bool   // true for the five main-evaluation datasets
+	Path      string // source file for KindFile datasets (see registry.go)
 }
 
 // DatasetKind selects the generator for a dataset.
@@ -275,6 +276,10 @@ const (
 	KindZipf DatasetKind = iota
 	KindRMAT
 	KindUniform
+	// KindFile marks a dataset ingested from a graph file (edge list,
+	// Matrix Market or GCSR) through the registry's resolver rather than
+	// synthesized by a generator.
+	KindFile
 )
 
 // scaleN is the default vertex count for scaled datasets (the paper's range

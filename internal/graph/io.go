@@ -56,7 +56,59 @@ func (g *CSR) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadFrom deserializes a graph written by WriteTo.
+// readChunkElems bounds how many array elements ReadFrom materializes per
+// binary.Read call. The header's n/m fields are untrusted: a hostile file
+// can declare billions of elements in a few bytes, and a single up-front
+// make() would commit tens of gigabytes before the first read fails. With
+// chunked reads, allocation grows only as fast as the stream actually
+// delivers data, so a truncated or lying file errors out after at most one
+// chunk beyond its real content.
+const readChunkElems = 1 << 16
+
+func readNums[T uint64 | uint32 | int32](r io.Reader, count uint64, what string) ([]T, error) {
+	cap0 := count
+	if cap0 > readChunkElems {
+		cap0 = readChunkElems
+	}
+	out := make([]T, 0, cap0)
+	for count > 0 {
+		c := count
+		if c > readChunkElems {
+			c = readChunkElems
+		}
+		chunk := make([]T, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", what, err)
+		}
+		out = append(out, chunk...)
+		count -= c
+	}
+	return out, nil
+}
+
+// checkIndex validates a just-read CSR index array against the header's
+// n/m before any edge array is allocated: it must start at 0, be monotonic,
+// and end exactly at m. Catching a lying header here keeps ReadFrom from
+// reading (and allocating) edge arrays the index cannot describe.
+func checkIndex(index []uint64, m uint64, what string) error {
+	if index[0] != 0 {
+		return fmt.Errorf("graph: %s must start at 0, got %d", what, index[0])
+	}
+	for i := 1; i < len(index); i++ {
+		if index[i] < index[i-1] {
+			return fmt.Errorf("graph: %s not monotonic at entry %d", what, i)
+		}
+	}
+	if last := index[len(index)-1]; last != m {
+		return fmt.Errorf("graph: %s ends at %d, header declares m=%d", what, last, m)
+	}
+	return nil
+}
+
+// ReadFrom deserializes a graph written by WriteTo. The header's n/m fields
+// are validated against the stream's actual content as the arrays are read
+// (in bounded chunks), so a corrupt or hostile file fails with an error
+// instead of a multi-gigabyte allocation.
 func ReadFrom(r io.Reader) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	hdr := make([]byte, len(magic))
@@ -84,22 +136,33 @@ func ReadFrom(r io.Reader) (*CSR, error) {
 	if err := get(&flags); err != nil {
 		return nil, err
 	}
-	g.OutIndex = make([]uint64, g.n+1)
-	g.OutEdges = make([]VertexID, g.m)
-	g.InIndex = make([]uint64, g.n+1)
-	g.InEdges = make([]VertexID, g.m)
-	for _, v := range []any{g.OutIndex, g.OutEdges, g.InIndex, g.InEdges} {
-		if err := get(v); err != nil {
-			return nil, err
-		}
+	if flags&^uint32(flagWeighted) != 0 {
+		return nil, fmt.Errorf("graph: unknown header flags %#x", flags)
+	}
+	var err error
+	if g.OutIndex, err = readNums[uint64](br, uint64(g.n)+1, "OutIndex"); err != nil {
+		return nil, err
+	}
+	if err := checkIndex(g.OutIndex, g.m, "OutIndex"); err != nil {
+		return nil, err
+	}
+	if g.OutEdges, err = readNums[uint32](br, g.m, "OutEdges"); err != nil {
+		return nil, err
+	}
+	if g.InIndex, err = readNums[uint64](br, uint64(g.n)+1, "InIndex"); err != nil {
+		return nil, err
+	}
+	if err := checkIndex(g.InIndex, g.m, "InIndex"); err != nil {
+		return nil, err
+	}
+	if g.InEdges, err = readNums[uint32](br, g.m, "InEdges"); err != nil {
+		return nil, err
 	}
 	if flags&flagWeighted != 0 {
-		g.OutWeights = make([]int32, g.m)
-		g.InWeights = make([]int32, g.m)
-		if err := get(g.OutWeights); err != nil {
+		if g.OutWeights, err = readNums[int32](br, g.m, "OutWeights"); err != nil {
 			return nil, err
 		}
-		if err := get(g.InWeights); err != nil {
+		if g.InWeights, err = readNums[int32](br, g.m, "InWeights"); err != nil {
 			return nil, err
 		}
 	}

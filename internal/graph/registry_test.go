@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestResolveBuiltinNames(t *testing.T) {
+	for _, d := range Datasets() {
+		r, err := Resolve(d.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if r.Kind == KindFile || r.FullName != d.FullName {
+			t.Fatalf("%s resolved to %+v", d.Name, r)
+		}
+	}
+}
+
+func TestResolveUnknownSpec(t *testing.T) {
+	_, err := Resolve("no-such-dataset-or-file")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The error must help: list the known names.
+	if want := "lj"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not list known datasets", err)
+	}
+}
+
+func writeTestEdgeList(t *testing.T, dir, name string, g *CSR) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestResolveAndLoadFile(t *testing.T) {
+	ref := GenRMATDefault(6, 4, 13, false)
+	path := writeTestEdgeList(t, t.TempDir(), "toy.el", ref)
+
+	d, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != KindFile || d.Name != "toy" || d.Path != path {
+		t.Fatalf("resolved %+v", d)
+	}
+	g, err := d.Load(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != ref.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), ref.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ingest must have left a fresh GCSR sidecar that parses to the
+	// same graph.
+	side, err := ReadGraphFile(path + ".gcsr")
+	if err != nil {
+		t.Fatalf("sidecar: %v", err)
+	}
+	if side.NumEdges() != g.NumEdges() || side.NumVertices() != g.NumVertices() {
+		t.Fatal("sidecar disagrees with ingest")
+	}
+
+	// Second load hits the in-memory memo: same pointer.
+	g2, err := d.Load(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("file graph not memoized")
+	}
+}
+
+func TestLoadPrefersFreshSidecar(t *testing.T) {
+	ref := GenPath(6)
+	dir := t.TempDir()
+	path := writeTestEdgeList(t, dir, "cached.el", ref)
+
+	// Plant a sidecar describing a DIFFERENT graph with a newer mtime: the
+	// loader must trust it (that is what "cached conversion" means).
+	other := GenCycle(9)
+	var buf bytes.Buffer
+	if _, err := other.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".gcsr", buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != other.NumVertices() {
+		t.Fatalf("loaded %d vertices, want the sidecar's %d", g.NumVertices(), other.NumVertices())
+	}
+
+	// A corrupt sidecar falls back to re-ingesting the source.
+	if err := os.WriteFile(path+".gcsr", []byte("GCSRgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err = loadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != ref.NumVertices() {
+		t.Fatalf("fallback loaded %d vertices, want %d", g.NumVertices(), ref.NumVertices())
+	}
+}
+
+func TestLoadAddsDeterministicWeights(t *testing.T) {
+	ref := GenRMATDefault(5, 4, 17, false)
+	path := writeTestEdgeList(t, t.TempDir(), "w.el", ref)
+	d, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := d.Load(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Weighted() {
+		t.Fatal("weighted load returned unweighted graph")
+	}
+	for _, w := range g1.OutWeights {
+		if w < 1 || w > maxWeight {
+			t.Fatalf("weight %d out of [1, %d]", w, maxWeight)
+		}
+	}
+	// Weights are a pure function of the graph: recomputing matches.
+	g2 := withSyntheticWeights(g1)
+	for i := range g1.OutWeights {
+		if g1.OutWeights[i] != g2.OutWeights[i] {
+			t.Fatal("synthetic weights not deterministic")
+		}
+	}
+}
+
+func TestLoadStripsUnrequestedWeights(t *testing.T) {
+	// A weighted file loaded with weighted=false must come back unweighted,
+	// or non-SSSP apps would trace weight-array accesses they never make.
+	ref := GenRMATDefault(5, 4, 19, true)
+	path := writeTestEdgeList(t, t.TempDir(), "weighted.wel", ref)
+	d, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Weighted() {
+		t.Fatal("unweighted load returned a weighted graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The weighted view of the same file must still carry the file's own
+	// weights (not synthetic ones).
+	gw, err := d.Load(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gw.Weighted() {
+		t.Fatal("weighted load returned an unweighted graph")
+	}
+	if gw.OutWeights[0] != ref.OutWeights[0] {
+		t.Fatal("file weights replaced instead of preserved")
+	}
+}
+
+func TestLoadSyntheticKindsDelegateToGenerate(t *testing.T) {
+	d, err := DatasetByName("uni")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load(false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Generate(false, 64)
+	if g.NumVertices() != want.NumVertices() || g.NumEdges() != want.NumEdges() {
+		t.Fatal("Load disagrees with Generate for a synthetic dataset")
+	}
+}

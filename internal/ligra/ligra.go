@@ -131,6 +131,13 @@ func (fg *Graph) RegisterProperty(name string, elemSize uint64) *mem.Array {
 	return fg.AS.Register(name, elemSize, uint64(fg.C.NumVertices()), true)
 }
 
+// RegisterAux registers an application-owned auxiliary structure that is
+// NOT a Property Array (no ABR pair, no Fig. 2 accounting) — e.g. the
+// degree-ordered adjacency TC builds next to the framework's CSR arrays.
+func (fg *Graph) RegisterAux(name string, elemSize, n uint64) *mem.Array {
+	return fg.AS.Register(name, elemSize, n, false)
+}
+
 // Synthetic PCs for the framework's static access sites.
 var (
 	pcVtxIdx   = mem.PC("ligra.vertex.index")

@@ -86,10 +86,15 @@ type Workload struct {
 	Weighted    bool
 }
 
-// PrepareWorkload generates the dataset (scaled down by scaleDiv; 1 = full
-// reproduction scale) and applies the named reordering technique, timing it.
+// PrepareWorkload materializes the dataset (generating synthetic kinds
+// scaled down by scaleDiv, 1 = full reproduction scale; loading file-backed
+// datasets through the registry cache) and applies the named reordering
+// technique, timing it.
 func PrepareWorkload(ds graph.Dataset, reorderName string, weighted bool, scaleDiv uint32) (*Workload, error) {
-	g := ds.Generate(weighted, scaleDiv)
+	g, err := ds.Load(weighted, scaleDiv)
+	if err != nil {
+		return nil, err
+	}
 	tech, err := reorder.ByName(reorderName)
 	if err != nil {
 		return nil, err
