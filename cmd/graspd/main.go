@@ -1,0 +1,93 @@
+// Command graspd is the simulation daemon: it serves simulation jobs over
+// HTTP, content-addresses every job spec, answers repeats from a
+// persistent result store, and deduplicates identical in-flight work onto
+// one execution (DESIGN.md Sec. 10; endpoint reference in docs/API.md).
+//
+// Usage:
+//
+//	graspd                          # listen on :8337, results in ./graspd-data
+//	graspd -addr :9000 -workers 4   # bounded pool of 4 simulation workers
+//	graspd -data /var/lib/graspd    # persistent result store location
+//
+// Endpoints: POST /jobs, GET /jobs/{id}, GET /results/{hash},
+// GET /healthz, GET /metrics. Submit jobs with curl or `graspsim -remote`:
+//
+//	curl -s localhost:8337/jobs -d '{"kind":"single","graph":"lj","app":"PR","policy":"GRASP","scale":64,"wait":true}'
+//	graspsim -remote localhost:8337 -graph lj -app PR -policy GRASP -scale 64
+//
+// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new
+// submissions are rejected, running simulations finish (up to
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"grasp/internal/jobs"
+	"grasp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	dataDir := flag.String("data", "graspd-data", "result-store directory (created if missing)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute,
+		"how long shutdown waits for running simulations to finish")
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, *workers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "graspd:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the store, manager and HTTP server, then blocks until a
+// termination signal starts the drain sequence.
+func run(addr, dataDir string, workers int, drainTimeout time.Duration) error {
+	store, err := jobs.OpenStore(dataDir)
+	if err != nil {
+		return err
+	}
+	mgr := jobs.NewManager(store, workers)
+	srv := &http.Server{Addr: addr, Handler: server.New(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("graspd: listening on %s (%d workers, %d stored results in %s)",
+			addr, workers, store.Len(), dataDir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("graspd: draining (finishing running jobs, up to %v)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Manager first: reject new work and let running simulations finish,
+	// then close the listener once in-flight waiters have their answers.
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("graspd: drain timed out: %v (abandoning running jobs)", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("graspd: drained, bye")
+	return nil
+}

@@ -1,32 +1,31 @@
-// Command graspsim regenerates the paper's tables and figures, and runs
-// single simulations on arbitrary ingested graphs.
+// Command graspsim regenerates the paper's tables and figures, runs
+// single simulations on arbitrary ingested graphs, and can offload either
+// to a graspd daemon (-remote) that caches results across callers.
 //
-// Usage:
+// Run `graspsim -h` for the flag reference and an examples section; the
+// experiment ids follow the paper (table1, fig5, ... — `-list` shows all;
+// DESIGN.md Sec. 4 is the index).
 //
-//	graspsim -exp fig5            # one experiment at full scale
-//	graspsim -exp all -scale 8    # everything at 1/8 scale
-//	graspsim -list                # list experiment ids
-//	graspsim -exp all -bench-json auto   # also record wall-clock to BENCH_<date>.json
-//	graspsim -graph web-Google.txt -app KCore -policy GRASP   # one run on a real graph
-//
-// Experiment ids follow the paper: table1, table4, fig2, fig5, fig6, fig7,
-// fig8, fig9, fig10a, fig10b, fig11, table7, plus extra studies (-list
-// shows all; DESIGN.md Sec. 4 is the index).
-//
-// Experiments run through the concurrent engine (exp.RunAll): the union of
-// their datapoints is simulated on a GOMAXPROCS worker pool, deduplicated,
-// before the bodies render in paper order.
+// Local experiments run through the concurrent engine (exp.RunAll): the
+// union of their datapoints is simulated on a GOMAXPROCS worker pool,
+// deduplicated, before the bodies render in paper order.
 //
 // With -graph, graspsim instead runs one (graph, reorder, app, policy)
 // simulation: the argument is a dataset name or a path to a SNAP-style
 // edge list (.txt/.el/.wel), a Matrix Market file (.mtx) or a GCSR binary
 // (.gcsr); text formats are converted once and cached in a .gcsr sidecar.
+//
+// With -remote host:port, both modes become daemon requests: the job is
+// content-addressed by the server, repeat runs are answered from its
+// result store without re-simulating, and identical concurrent requests
+// share one execution (see docs/API.md).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -35,8 +34,75 @@ import (
 	"grasp/internal/apps"
 	"grasp/internal/exp"
 	"grasp/internal/graph"
+	"grasp/internal/jobs"
+	"grasp/internal/server"
 	"grasp/internal/sim"
 )
+
+// options carries every graspsim flag; newFlags binds them so main and
+// the usage golden test construct the identical flag set.
+type options struct {
+	exp       string
+	scale     uint
+	list      bool
+	benchJSON string
+	graphSpec string
+	app       string
+	policy    string
+	reorder   string
+	remote    string
+	priority  int
+}
+
+// usageExamples is the examples section of `graspsim -h`, locked by the
+// golden test in usage_test.go (refresh with `go test ./cmd/graspsim
+// -run Usage -update` after editing).
+const usageExamples = `Examples:
+  graspsim -exp fig5                   reproduce one artifact at full scale
+  graspsim -exp all -scale 8           everything at 1/8 scale
+  graspsim -list                       list experiment ids
+  graspsim -exp all -bench-json auto   record wall-clock to BENCH_<date>.json
+
+  graspsim -graph tw -app PR -policy GRASP          one simulation, paper dataset
+  graspsim -graph web-Google.txt -app KCore -policy GRASP
+                                       one simulation on an ingested graph file
+                                       (.txt/.el/.wel/.mtx/.gcsr; converted once,
+                                       cached in a .gcsr sidecar)
+
+  graspsim -remote localhost:8337 -graph lj -app PR -policy GRASP -scale 64
+                                       run via a graspd daemon: repeat runs are
+                                       served from its result store
+  graspsim -remote localhost:8337 -exp fig2 -scale 64
+                                       experiments work remotely too
+`
+
+// newFlags builds the graspsim flag set. Factored out of main so the
+// usage golden test renders exactly what `graspsim -h` prints.
+func newFlags() (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet("graspsim", flag.ExitOnError)
+	fs.StringVar(&o.exp, "exp", "all", "experiment id, comma-separated list, or 'all'")
+	fs.UintVar(&o.scale, "scale", 1, "dataset scale divisor (1 = full reproduction scale)")
+	fs.BoolVar(&o.list, "list", false, "list experiment ids and exit")
+	fs.StringVar(&o.benchJSON, "bench-json", "",
+		"record wall-clock per experiment to this JSON file ('auto' = BENCH_<date>.json)")
+	fs.StringVar(&o.graphSpec, "graph", "",
+		"run ONE simulation on this dataset name or graph file (.txt/.el/.wel/.mtx/.gcsr) instead of experiments")
+	fs.StringVar(&o.app, "app", "PR",
+		fmt.Sprintf("-graph mode: application, one of %v", apps.ExtendedNames()))
+	fs.StringVar(&o.policy, "policy", "GRASP", "-graph mode: LLC policy (see sim.Policies)")
+	fs.StringVar(&o.reorder, "reorder", "DBG", "-graph mode: reordering technique")
+	fs.StringVar(&o.remote, "remote", "",
+		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
+	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
+	fs.Usage = func() {
+		w := fs.Output()
+		fmt.Fprintf(w, "Usage: graspsim [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(w, "\n%s", usageExamples)
+	}
+	return fs, o
+}
 
 // benchEntry is one experiment's wall-clock in the -bench-json record.
 type benchEntry struct {
@@ -55,59 +121,51 @@ type benchRecord struct {
 }
 
 func main() {
-	expID := flag.String("exp", "all", "experiment id, comma-separated list, or 'all'")
-	scale := flag.Uint("scale", 1, "dataset scale divisor (1 = full reproduction scale)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	benchJSON := flag.String("bench-json", "",
-		"record wall-clock per experiment to this JSON file ('auto' = BENCH_<date>.json)")
-	graphSpec := flag.String("graph", "",
-		"run ONE simulation on this dataset name or graph file (.txt/.el/.wel/.mtx/.gcsr) instead of experiments")
-	appName := flag.String("app", "PR",
-		fmt.Sprintf("-graph mode: application, one of %v", apps.ExtendedNames()))
-	polName := flag.String("policy", "GRASP", "-graph mode: LLC policy (see sim.Policies)")
-	reorderName := flag.String("reorder", "DBG", "-graph mode: reordering technique")
-	flag.Parse()
+	fs, o := newFlags()
+	fs.Parse(os.Args[1:])
 
-	if *graphSpec != "" {
-		if err := runSingle(*graphSpec, *appName, *polName, *reorderName, uint32(*scale)); err != nil {
-			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *list {
+	// -list is always local and instant; honoring it before -remote keeps
+	// `graspsim -remote host -list` from submitting every experiment.
+	if o.list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
 	}
 
+	if o.remote != "" {
+		if err := runRemote(o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "graspsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if o.graphSpec != "" {
+		if err := runSingle(o.graphSpec, o.app, o.policy, o.reorder, uint32(o.scale)); err != nil {
+			fmt.Fprintln(os.Stderr, "graspsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := exp.DefaultConfig()
-	if *scale > 1 {
-		cfg = exp.ScaledConfig(uint32(*scale))
+	if o.scale > 1 {
+		cfg = exp.ScaledConfig(uint32(o.scale))
 	}
 	fmt.Printf("# GRASP reproduction — scale 1/%d, LLC %dKB, L1 %dKB, L2 %dKB\n\n",
-		*scale, cfg.HCfg.LLC.SizeBytes>>10, cfg.HCfg.L1.SizeBytes>>10, cfg.HCfg.L2.SizeBytes>>10)
+		o.scale, cfg.HCfg.LLC.SizeBytes>>10, cfg.HCfg.L1.SizeBytes>>10, cfg.HCfg.L2.SizeBytes>>10)
 	session := exp.NewSession(cfg)
 
-	var exps []exp.Experiment
-	if *expID == "all" {
-		exps = exp.All()
-	} else {
-		for _, id := range strings.Split(*expID, ",") {
-			e, err := exp.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "graspsim:", err)
-				os.Exit(1)
-			}
-			exps = append(exps, e)
-		}
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graspsim:", err)
+		os.Exit(1)
 	}
 
 	record := benchRecord{
 		Date:       time.Now().Format("2006-01-02"),
-		Scale:      *scale,
+		Scale:      o.scale,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	start := time.Now()
@@ -131,8 +189,8 @@ func main() {
 	}
 	record.TotalSeconds = time.Since(start).Seconds()
 
-	if *benchJSON != "" {
-		path := *benchJSON
+	if o.benchJSON != "" {
+		path := o.benchJSON
 		if path == "auto" {
 			path = fmt.Sprintf("BENCH_%s.json", record.Date)
 		}
@@ -147,6 +205,70 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "graspsim: wall-clock record written to %s\n", path)
 	}
+}
+
+// selectExperiments resolves the -exp flag value to experiment structs.
+func selectExperiments(spec string) ([]exp.Experiment, error) {
+	if spec == "all" {
+		return exp.All(), nil
+	}
+	var out []exp.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		e, err := exp.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// runRemote sends the requested work to a graspd daemon and renders the
+// returned outcomes: the single-run metrics block in -graph mode, or each
+// experiment's stored body in -exp mode.
+func runRemote(o *options, w io.Writer) error {
+	client := server.NewClient(o.remote)
+	if o.graphSpec != "" {
+		spec := jobs.Spec{Kind: jobs.KindSingle, Graph: o.graphSpec, App: o.app,
+			Policy: o.policy, Reorder: o.reorder, Scale: uint32(o.scale)}
+		outcome, err := client.RunSync(spec, o.priority)
+		if err != nil {
+			return err
+		}
+		if outcome.Single == nil {
+			return fmt.Errorf("daemon returned no single-run metrics for %s", outcome.Hash)
+		}
+		fmt.Fprintf(w, "workload: %s app=%s reorder=%s policy=%s (remote, %.2fs simulated)\n",
+			outcome.Single.Workload, o.app, o.reorder, o.policy, outcome.Elapsed)
+		printMetrics(w, *outcome.Single)
+		return nil
+	}
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		return err
+	}
+	// Submit everything fire-and-forget first so the daemon's worker pool
+	// runs the experiments concurrently (its session dedups shared
+	// datapoints), then collect the outcomes in paper order — RunSync on
+	// an in-flight job joins it rather than resubmitting.
+	for _, e := range exps {
+		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale)}
+		if _, err := client.Submit(spec, o.priority); err != nil {
+			return err
+		}
+	}
+	for _, e := range exps {
+		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale)}
+		outcome, err := client.RunSync(spec, o.priority)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", e.ID, e.Title)
+		fmt.Fprint(w, outcome.Output)
+		fmt.Fprintf(w, "(%s simulated in %.2fs, finished %s)\n\n",
+			e.ID, outcome.Elapsed, outcome.Finished.Format(time.RFC3339))
+	}
+	return nil
 }
 
 // runSingle executes one (graph, reorder, app, policy) simulation — the
@@ -176,12 +298,17 @@ func runSingle(spec, appName, polName, reorderName string, scale uint32) error {
 	}
 	fmt.Printf("workload: %s app=%s reorder=%s policy=%s\n", ds.Name, appName, reorderName, polName)
 	fmt.Printf("graph:    %v\n", w.Graph)
-	fmt.Printf("L1:  %9d accesses, %9d misses (%.1f%%)\n",
-		r.L1.Accesses(), r.L1.Misses, 100*r.L1.MissRatio())
-	fmt.Printf("L2:  %9d accesses, %9d misses (%.1f%%)\n",
-		r.L2.Accesses(), r.L2.Misses, 100*r.L2.MissRatio())
-	fmt.Printf("LLC: %9d accesses, %9d misses (%.1f%%), %d bypasses, %d writebacks\n",
-		r.LLC.Accesses(), r.LLC.Misses, 100*r.LLC.MissRatio(), r.LLC.Bypasses, r.LLC.Writebacks)
-	fmt.Printf("modeled memory time: %.0f\n", r.Cycles)
+	printMetrics(os.Stdout, r)
 	return nil
+}
+
+// printMetrics renders the per-level cache metrics of one simulation.
+func printMetrics(w io.Writer, r sim.Result) {
+	fmt.Fprintf(w, "L1:  %9d accesses, %9d misses (%.1f%%)\n",
+		r.L1.Accesses(), r.L1.Misses, 100*r.L1.MissRatio())
+	fmt.Fprintf(w, "L2:  %9d accesses, %9d misses (%.1f%%)\n",
+		r.L2.Accesses(), r.L2.Misses, 100*r.L2.MissRatio())
+	fmt.Fprintf(w, "LLC: %9d accesses, %9d misses (%.1f%%), %d bypasses, %d writebacks\n",
+		r.LLC.Accesses(), r.LLC.Misses, 100*r.LLC.MissRatio(), r.LLC.Bypasses, r.LLC.Writebacks)
+	fmt.Fprintf(w, "modeled memory time: %.0f\n", r.Cycles)
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the usage golden file")
+
+// TestUsageGolden locks the full `graspsim -h` output — flag reference
+// AND the examples section — against testdata/usage.golden, so the help
+// text cannot silently drift from the implemented flags again (the
+// pre-PR-3 usage omitted the single-run flags from its examples).
+// Refresh after intentional changes with:
+//
+//	go test ./cmd/graspsim -run Usage -update
+func TestUsageGolden(t *testing.T) {
+	fs, _ := newFlags()
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "usage.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to record): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("usage output drifted from %s (refresh with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestUsageMentionsSingleRunFlags asserts the examples section covers the
+// single-run flags and the remote mode explicitly — the regression this
+// PR's small-fix satellite addresses.
+func TestUsageMentionsSingleRunFlags(t *testing.T) {
+	for _, needle := range []string{"-graph", "-app", "-policy", "-remote", "-exp"} {
+		if !bytes.Contains([]byte(usageExamples), []byte(needle)) {
+			t.Errorf("usage examples do not mention %s", needle)
+		}
+	}
+}

@@ -50,8 +50,9 @@ type App interface {
 	ABRArrays() []*mem.Array
 }
 
-// Registry constructs an application by name over a prepared graph.
-// Weighted graphs are required by SSSP only.
+// New constructs an application by name over a prepared graph (the
+// registry behind every `-app` flag). Weighted graphs are required by
+// SSSP only; layout matters only for the apps with a merging opportunity.
 func New(name string, fg *ligra.Graph, layout Layout) (App, error) {
 	switch name {
 	case "BC":

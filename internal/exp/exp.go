@@ -215,6 +215,18 @@ func (s *Session) compute(p Datapoint) error {
 // runs twice either way. The returned error is the earliest (by batch
 // position) failure, matching what a sequential pass would report first.
 func (s *Session) Prefetch(points []Datapoint) error {
+	return s.PrefetchObserved(points, nil)
+}
+
+// PrefetchObserved is Prefetch with a progress callback: after each
+// datapoint of the deduplicated batch completes (success or error),
+// onProgress is invoked with the number done so far and the batch total.
+// It is called concurrently from the worker pool, so it must be
+// goroutine-safe; `done` values are each delivered exactly once but may
+// arrive out of order. A nil onProgress makes this identical to Prefetch.
+// Long-running callers (the graspd job service) use the callback to
+// surface per-job completion percentages while a batch is in flight.
+func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, total int)) error {
 	uniq := points
 	if len(points) > 1 {
 		seen := make(map[Datapoint]bool, len(points))
@@ -227,8 +239,12 @@ func (s *Session) Prefetch(points []Datapoint) error {
 		}
 	}
 	errs := make([]error, len(uniq))
+	var completed atomic.Int64
 	forEachParallel(len(uniq), func(i int) {
 		errs[i] = s.compute(uniq[i])
+		if onProgress != nil {
+			onProgress(int(completed.Add(1)), len(uniq))
+		}
 	})
 	for _, err := range errs {
 		if err != nil {

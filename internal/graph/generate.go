@@ -287,13 +287,13 @@ const (
 // DESIGN.md Sec. 5).
 const scaleN = 1 << 17 // 131072
 
-// Zipf exponents are calibrated so each dataset's hot-vertex percentage
-// and edge coverage (Table I) land in the paper's band (9-26% of vertices
-// covering 81-93% of edges on the high-skew datasets).
-//
 // Datasets returns the seven datasets of Table V at reproduction scale.
 // Order matches the paper: lj, pl, tw, kr, sd (high-skew), then fr
 // (low-skew) and uni (no-skew) adversarial datasets.
+//
+// Zipf exponents are calibrated so each dataset's hot-vertex percentage
+// and edge coverage (Table I) land in the paper's band (9-26% of vertices
+// covering 81-93% of edges on the high-skew datasets).
 func Datasets() []Dataset {
 	return []Dataset{
 		{Name: "lj", FullName: "LiveJournal", Vertices: scaleN, AvgDegree: 14, Kind: KindZipf, Alpha: 0.95, Seed: 0x11, HighSkew: true},

@@ -83,6 +83,17 @@ var fileCache = struct {
 	m map[string]*fileEntry
 }{m: make(map[string]*fileEntry)}
 
+// CachedFiles returns the number of distinct graph files the process-wide
+// registry memo currently holds (successful or failed parses alike). It
+// exists for observability: a long-lived daemon (graspd) reports it so
+// operators can see file graphs being reused across requests instead of
+// re-ingested.
+func CachedFiles() int {
+	fileCache.Lock()
+	defer fileCache.Unlock()
+	return len(fileCache.m)
+}
+
 // loadFileCached loads a graph file through two cache layers: the
 // in-memory memo, then — for text formats — a sidecar "<path>.gcsr"
 // binary conversion that is written on first ingest and reused on later

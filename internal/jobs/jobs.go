@@ -1,0 +1,476 @@
+// Package jobs is the batched, result-cached simulation job engine behind
+// the graspd daemon (DESIGN.md Sec. 10): it accepts job specs (single
+// simulations or whole paper experiments), content-addresses each by a
+// canonical hash of everything that determines its result, serves repeat
+// requests from a persistent on-disk store, deduplicates identical
+// in-flight requests onto one execution, and schedules distinct work onto
+// a bounded worker pool through a priority queue. Simulation itself runs
+// on the exp.Session engine, so jobs that share datapoints (two
+// experiments over the same matrix, a single run inside an experiment's
+// grid) share workloads and results through its singleflight caches too.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grasp/internal/apps"
+	"grasp/internal/exp"
+	"grasp/internal/graph"
+)
+
+// Job states reported by Status.
+const (
+	// StateQueued means the job is waiting for a worker.
+	StateQueued = "queued"
+	// StateRunning means a worker is simulating the job.
+	StateRunning = "running"
+	// StateDone means the job completed and its outcome is stored.
+	StateDone = "done"
+	// StateFailed means the job errored (bad spec caught late, or drain).
+	StateFailed = "failed"
+)
+
+// ErrDraining is returned by Submit once Shutdown has begun: the daemon
+// finishes running work but accepts no more.
+var ErrDraining = errors.New("jobs: manager is draining")
+
+// Job is one tracked submission. All mutable state is behind a mutex;
+// readers use Status for a consistent snapshot and Done to block until
+// completion. Deduplicated submissions share one *Job (same ID).
+type Job struct {
+	// ID is the daemon-unique job identifier (j000001, ...).
+	ID string
+	// Hash is the content address of the canonicalized spec.
+	Hash string
+	// Spec is the canonicalized spec.
+	Spec Spec
+	// Priority orders the queue: higher runs first, ties FIFO. It can
+	// only rise after creation (queue.Boost, when a higher-priority
+	// duplicate joins this job); writes are guarded by the queue lock
+	// plus mu, so Status snapshots stay consistent.
+	Priority int
+	// Submitted is when the job entered the manager.
+	Submitted time.Time
+
+	mu       sync.Mutex
+	state    string
+	progress float64
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	cached   bool
+	outcome  *Outcome
+	done     chan struct{}
+}
+
+// Status is a consistent, JSON-ready snapshot of a job's state.
+type Status struct {
+	// ID, Hash, Spec and Priority mirror the Job's immutable identity.
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	Spec     Spec   `json:"spec"`
+	Priority int    `json:"priority"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Progress is the completed fraction in [0, 1] (datapoint granularity
+	// for experiments; 0-or-1 for single runs).
+	Progress float64 `json:"progress"`
+	// Cached reports that the outcome came from the result store without
+	// re-simulating.
+	Cached bool `json:"cached"`
+	// Error is the failure message when State is failed.
+	Error string `json:"error,omitempty"`
+	// Submitted/Started/Finished are the lifecycle timestamps (the zero
+	// time, marshaled as 0001-01-01, means the stage was not reached yet).
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+}
+
+// Status returns a snapshot of the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, Hash: j.Hash, Spec: j.Spec, Priority: j.Priority,
+		State: j.state, Progress: j.progress, Cached: j.cached, Error: j.errMsg,
+		Submitted: j.Submitted, Started: j.started, Finished: j.finished,
+	}
+}
+
+// Done returns a channel closed when the job reaches done or failed.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Outcome returns the completed result, or nil while the job is live or
+// after a failure.
+func (j *Job) Outcome() *Outcome {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// setProgress records a completion fraction, keeping the maximum seen so
+// out-of-order callbacks from the parallel prefetch never move it back.
+func (j *Job) setProgress(p float64) {
+	j.mu.Lock()
+	if p > j.progress {
+		j.progress = p
+	}
+	j.mu.Unlock()
+}
+
+// Disposition classifies what Submit did with a spec.
+type Disposition string
+
+// Submit dispositions.
+const (
+	// Queued: new work, enqueued for a worker.
+	Queued Disposition = "queued"
+	// Cached: the result store already held the outcome; the returned job
+	// is born completed.
+	Cached Disposition = "cached"
+	// Deduped: an identical job is already queued or running; the returned
+	// job IS that job (same ID), and its one execution serves both callers.
+	Deduped Disposition = "deduped"
+)
+
+// Manager owns the job lifecycle: hash → store lookup → in-flight dedup →
+// priority queue → worker pool → store write-back. One Manager serves a
+// whole daemon; it is safe for concurrent use.
+type Manager struct {
+	store   *Store
+	workers int
+
+	q  *queue
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[uint32]*exp.Session // one simulation session per scale divisor
+	byID     map[string]*Job
+	byHash   map[string]*Job // in-flight (queued/running) jobs only
+	retired  []string        // terminal job IDs, oldest first, for bounded retention
+	draining bool
+
+	idSeq     atomic.Uint64
+	running   atomic.Int64
+	submitted atomic.Uint64
+	executed  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	storeHits atomic.Uint64
+	dedupHits atomic.Uint64
+}
+
+// NewManager starts a manager with the given result store and worker
+// count (minimum 1) and returns it running.
+func NewManager(store *Store, workers int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	m := &Manager{
+		store:    store,
+		workers:  workers,
+		q:        newQueue(),
+		sessions: make(map[uint32]*exp.Session),
+		byID:     make(map[string]*Job),
+		byHash:   make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Workers returns the size of the worker pool (the concurrency bound).
+func (m *Manager) Workers() int { return m.workers }
+
+// Submit canonicalizes and hashes the spec, then either returns the
+// stored outcome (Cached), joins an identical in-flight job (Deduped), or
+// enqueues new work (Queued). The returned job is registered and can be
+// polled by ID in every case.
+func (m *Manager) Submit(spec Spec, priority int) (*Job, Disposition, error) {
+	if err := spec.Canonicalize(); err != nil {
+		return nil, "", err
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return nil, "", err
+	}
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, "", ErrDraining
+	}
+	if o := m.store.Get(hash); o != nil {
+		m.storeHits.Add(1)
+		m.submitted.Add(1)
+		j := &Job{
+			ID: m.nextID(), Hash: hash, Spec: spec, Priority: priority,
+			Submitted: now, state: StateDone, progress: 1, cached: true,
+			outcome: o, done: make(chan struct{}),
+		}
+		j.finished = now
+		close(j.done)
+		m.byID[j.ID] = j
+		m.retireLocked(j.ID)
+		return j, Cached, nil
+	}
+	if lead := m.byHash[hash]; lead != nil {
+		m.dedupHits.Add(1)
+		m.submitted.Add(1)
+		// The joining caller's priority still counts: the shared job runs
+		// at the highest priority any of its submitters asked for.
+		m.q.Boost(lead, priority)
+		return lead, Deduped, nil
+	}
+	j := &Job{
+		ID: m.nextID(), Hash: hash, Spec: spec, Priority: priority,
+		Submitted: now, state: StateQueued, done: make(chan struct{}),
+	}
+	if !m.q.Push(j) {
+		return nil, "", ErrDraining
+	}
+	m.submitted.Add(1)
+	m.byID[j.ID] = j
+	m.byHash[hash] = j
+	return j, Queued, nil
+}
+
+// Job returns the tracked job with the given ID, or nil.
+func (m *Manager) Job(id string) *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byID[id]
+}
+
+// Result returns the stored outcome for a spec hash, or nil.
+func (m *Manager) Result(hash string) *Outcome { return m.store.Get(hash) }
+
+// nextID mints a job ID; the caller holds m.mu (only for byID insertion —
+// the counter itself is atomic so IDs stay unique regardless).
+func (m *Manager) nextID() string {
+	return fmt.Sprintf("j%06d", m.idSeq.Add(1))
+}
+
+// sessionFor returns the simulation session for one scale divisor,
+// creating it on first use. Sessions persist for the manager's lifetime,
+// so every job at a given scale shares workloads, results and traces.
+func (m *Manager) sessionFor(scale uint32) *exp.Session {
+	if scale == 0 {
+		scale = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[scale]
+	if !ok {
+		s = exp.NewSession(configForScale(scale))
+		m.sessions[scale] = s
+	}
+	return s
+}
+
+// worker is the run loop of one pool goroutine: pop by priority, execute,
+// write back, until the queue closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j := m.q.Pop()
+		if j == nil {
+			return
+		}
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job and settles it (outcome stored + done closed,
+// or failed).
+func (m *Manager) runJob(j *Job) {
+	m.running.Add(1)
+	defer m.running.Add(-1)
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	m.executed.Add(1)
+	start := time.Now()
+	outcome, err := m.execute(j)
+	if err != nil {
+		m.settle(j, nil, err)
+		return
+	}
+	outcome.Hash = j.Hash
+	outcome.Spec = j.Spec
+	outcome.Elapsed = time.Since(start).Seconds()
+	outcome.Finished = time.Now()
+	if perr := m.store.Put(outcome); perr != nil {
+		// The in-memory index still serves it; losing persistence across
+		// restarts is worth surfacing but not failing the job over.
+		fmt.Printf("jobs: persisting %s: %v\n", j.Hash, perr)
+	}
+	m.settle(j, outcome, nil)
+}
+
+// maxRetainedJobs bounds how many terminal jobs stay pollable by ID: a
+// long-lived daemon would otherwise grow byID with every submission
+// (including every cache hit, which mints a fresh Job). Evicted jobs 404
+// on GET /jobs/{id}; their outcomes remain addressable by hash forever.
+const maxRetainedJobs = 4096
+
+// retireLocked records a terminal job for bounded retention, evicting the
+// oldest terminal jobs beyond the cap. Caller holds m.mu. In-flight jobs
+// are never evicted (they retire only via settle).
+func (m *Manager) retireLocked(id string) {
+	m.retired = append(m.retired, id)
+	for len(m.retired) > maxRetainedJobs {
+		delete(m.byID, m.retired[0])
+		m.retired = m.retired[1:]
+	}
+}
+
+// settle moves a finished job to its terminal state and releases the
+// in-flight dedup slot.
+func (m *Manager) settle(j *Job, o *Outcome, err error) {
+	m.mu.Lock()
+	delete(m.byHash, j.Hash)
+	m.retireLocked(j.ID)
+	m.mu.Unlock()
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		m.failed.Add(1)
+	} else {
+		j.state = StateDone
+		j.progress = 1
+		j.outcome = o
+		m.completed.Add(1)
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// execute runs the simulation work for one job on the session engine.
+func (m *Manager) execute(j *Job) (*Outcome, error) {
+	s := m.sessionFor(j.Spec.Scale)
+	switch j.Spec.Kind {
+	case KindSingle:
+		r, err := s.Result(j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Single: &r}, nil
+	case KindExperiment:
+		e, err := exp.ByID(j.Spec.Exp)
+		if err != nil {
+			return nil, err
+		}
+		if e.Points != nil {
+			points := e.Points()
+			if err := s.PrefetchObserved(points, func(done, total int) {
+				// Hold the last percent back for the render step.
+				j.setProgress(0.99 * float64(done) / float64(total))
+			}); err != nil {
+				return nil, err
+			}
+		}
+		var buf bytes.Buffer
+		if err := e.Run(s, &buf); err != nil {
+			return nil, err
+		}
+		return &Outcome{Output: buf.String()}, nil
+	}
+	return nil, fmt.Errorf("jobs: unknown job kind %q", j.Spec.Kind)
+}
+
+// Shutdown drains the manager: no new submissions are accepted, queued
+// jobs that never started are failed out immediately, and running
+// simulations are given until ctx expires to finish. It returns nil when
+// the pool drained, or ctx.Err() on timeout (simulations cannot be
+// preempted mid-trace; a timeout abandons them to process exit).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+	for _, j := range m.q.Close() {
+		m.settle(j, nil, ErrDraining)
+	}
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Metrics is a point-in-time counter snapshot for the /metrics endpoint.
+type Metrics struct {
+	// Submitted counts every accepted Submit (including cached/deduped).
+	Submitted uint64
+	// Executed counts jobs a worker actually simulated.
+	Executed uint64
+	// Completed and Failed count terminal executions.
+	Completed, Failed uint64
+	// StoreHits counts submissions served straight from the result store;
+	// DedupHits counts submissions merged onto an in-flight job.
+	StoreHits, DedupHits uint64
+	// Queued and Running describe the pool right now.
+	Queued, Running int
+	// StoredOutcomes is the size of the persistent result store.
+	StoredOutcomes int
+	// SimRuns is the number of distinct sim.Run invocations across all
+	// sessions (the engine-level dedup observability counter).
+	SimRuns uint64
+	// CachedGraphFiles is the registry's count of parsed file graphs
+	// shared across requests.
+	CachedGraphFiles int
+}
+
+// Metrics returns a snapshot of the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	var simRuns uint64
+	m.mu.Lock()
+	for _, s := range m.sessions {
+		simRuns += s.SimRuns()
+	}
+	m.mu.Unlock()
+	return Metrics{
+		Submitted:        m.submitted.Load(),
+		Executed:         m.executed.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		StoreHits:        m.storeHits.Load(),
+		DedupHits:        m.dedupHits.Load(),
+		Queued:           m.q.Depth(),
+		Running:          int(m.running.Load()),
+		StoredOutcomes:   m.store.Len(),
+		SimRuns:          simRuns,
+		CachedGraphFiles: graph.CachedFiles(),
+	}
+}

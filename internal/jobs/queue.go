@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// queue is a blocking priority queue of jobs: higher Priority pops first,
+// ties break by submission order (FIFO), and Pop blocks until an item
+// arrives or the queue is closed. Concurrency is bounded by how many
+// workers call Pop, not by the queue itself.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  jobHeap
+	seq    uint64
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues j. Pushing to a closed queue reports false.
+func (q *queue) Push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.seq++
+	heap.Push(&q.items, queued{job: j, seq: q.seq})
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until a job is available and returns the highest-priority
+// one; it returns nil once the queue is closed and drained of nothing —
+// close discards pending items, so nil means "stop working".
+func (q *queue) Pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil
+	}
+	return heap.Pop(&q.items).(queued).job
+}
+
+// Boost raises j's priority to prio (never lowers it), re-sifting the
+// heap if j is still queued. Deduplicated submissions use this so a
+// high-priority caller joining a low-priority in-flight job still jumps
+// the queue. Priority writes are serialized with heap reads by q.mu and
+// with Status snapshots by j.mu.
+func (q *queue) Boost(j *Job, prio int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if prio <= j.Priority {
+		return
+	}
+	j.mu.Lock()
+	j.Priority = prio
+	j.mu.Unlock()
+	for i := range q.items {
+		if q.items[i].job == j {
+			heap.Fix(&q.items, i)
+			return
+		}
+	}
+}
+
+// Close marks the queue closed, wakes all blocked workers, and returns the
+// jobs still pending so the caller can fail them out.
+func (q *queue) Close() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	pending := make([]*Job, 0, len(q.items))
+	for _, it := range q.items {
+		pending = append(pending, it.job)
+	}
+	q.items = nil
+	q.cond.Broadcast()
+	return pending
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// queued is one heap entry; seq implements FIFO tie-breaking.
+type queued struct {
+	job *Job
+	seq uint64
+}
+
+// jobHeap orders by descending priority, then ascending sequence.
+type jobHeap []queued
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].job.Priority != h[j].job.Priority {
+		return h[i].job.Priority > h[j].job.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,202 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"grasp/internal/apps"
+	"grasp/internal/exp"
+	"grasp/internal/graph"
+	"grasp/internal/reorder"
+	"grasp/internal/sim"
+)
+
+// Job kinds accepted by Spec.Kind.
+const (
+	// KindSingle runs one (graph, reorder, app, policy) simulation and
+	// returns its cache metrics — the service twin of `graspsim -graph`.
+	KindSingle = "single"
+	// KindExperiment regenerates one named paper experiment (table/figure)
+	// and returns its rendered text body — the twin of `graspsim -exp`.
+	KindExperiment = "experiment"
+)
+
+// Spec describes one simulation job a client can submit. The zero values
+// of optional fields are normalized by Canonicalize, so two specs that
+// differ only in spelled-out defaults (or in JSON field order, which never
+// reaches the hash) are the same job.
+type Spec struct {
+	// Kind selects the job shape: KindSingle or KindExperiment.
+	Kind string `json:"kind"`
+	// Graph names the dataset (lj, pl, tw, ...) or a graph-file path
+	// readable by the server. KindSingle only.
+	Graph string `json:"graph,omitempty"`
+	// App is the application to trace (KindSingle; default PR).
+	App string `json:"app,omitempty"`
+	// Policy is the LLC replacement policy (KindSingle; default GRASP).
+	Policy string `json:"policy,omitempty"`
+	// Reorder is the vertex reordering technique (KindSingle; default DBG).
+	Reorder string `json:"reorder,omitempty"`
+	// Exp is the experiment id (fig5, table1, ...). KindExperiment only.
+	Exp string `json:"exp,omitempty"`
+	// Scale is the dataset scale divisor; 0 or 1 = full reproduction
+	// scale. The simulated hierarchy shrinks with it (exp.ScaledConfig).
+	Scale uint32 `json:"scale,omitempty"`
+}
+
+// Canonicalize validates the spec and fills normalized defaults in place,
+// so that equal work always produces an identical Spec — the precondition
+// for content-addressed hashing.
+func (s *Spec) Canonicalize() error {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	switch s.Kind {
+	case KindSingle:
+		if s.Exp != "" {
+			return fmt.Errorf("jobs: %q job must not set exp", KindSingle)
+		}
+		if s.Graph == "" {
+			return fmt.Errorf("jobs: %q job requires a graph", KindSingle)
+		}
+		if s.App == "" {
+			s.App = "PR"
+		}
+		if s.Policy == "" {
+			s.Policy = "GRASP"
+		}
+		if s.Reorder == "" {
+			s.Reorder = "DBG"
+		}
+		if !knownApp(s.App) {
+			return fmt.Errorf("jobs: unknown app %q; known: %v", s.App, apps.ExtendedNames())
+		}
+		if _, err := sim.PolicyByName(s.Policy); err != nil {
+			return err
+		}
+		if _, err := reorder.ByName(s.Reorder); err != nil {
+			return err
+		}
+	case KindExperiment:
+		if s.Graph != "" || s.App != "" || s.Policy != "" || s.Reorder != "" {
+			return fmt.Errorf("jobs: %q job must set only exp and scale", KindExperiment)
+		}
+		if _, err := exp.ByID(s.Exp); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("jobs: unknown job kind %q (want %q or %q)", s.Kind, KindSingle, KindExperiment)
+	}
+	return nil
+}
+
+// knownApp reports whether name is in the extended application registry.
+func knownApp(name string) bool {
+	for _, n := range apps.ExtendedNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Config returns the experiment configuration the spec runs under: the
+// default hierarchy at scale 1, or exp.ScaledConfig for larger divisors.
+func (s Spec) Config() exp.Config { return configForScale(s.Scale) }
+
+// configForScale is the single scale→configuration mapping: the hash
+// (Spec.Hash digests the derived geometry) and the simulation session
+// (Manager.sessionFor) both derive from here, so a cached result's
+// recorded hierarchy can never diverge from the one actually simulated.
+func configForScale(scale uint32) exp.Config {
+	if scale <= 1 {
+		return exp.DefaultConfig()
+	}
+	return exp.ScaledConfig(scale)
+}
+
+// Hash content-addresses the job: a canonical, versioned serialization of
+// everything that determines the result — graph identity (file-backed
+// graphs hash their bytes, so editing a file changes the address), app,
+// policy, reordering, experiment id, scale, and the derived cache
+// hierarchy geometry — digested with SHA-256. Specs that canonicalize
+// identically hash identically regardless of how the client spelled them.
+// The spec must have been canonicalized.
+func (s Spec) Hash() (string, error) {
+	gid := ""
+	if s.Kind == KindSingle {
+		var err error
+		if gid, err = graphIdentity(s.Graph); err != nil {
+			return "", err
+		}
+	}
+	cfg := s.Config()
+	h := sha256.New()
+	fmt.Fprintf(h, "grasp-job-v1\x00%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00%d\x00",
+		s.Kind, gid, s.App, s.Policy, s.Reorder, s.Exp, s.Scale)
+	fmt.Fprintf(h, "L1:%d/%d\x00L2:%d/%d\x00LLC:%d/%d\x00",
+		cfg.HCfg.L1.SizeBytes, cfg.HCfg.L1.Ways,
+		cfg.HCfg.L2.SizeBytes, cfg.HCfg.L2.Ways,
+		cfg.HCfg.LLC.SizeBytes, cfg.HCfg.LLC.Ways)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fileDigest is one memoized content digest; size and mtime validate it
+// against the current file state.
+type fileDigest struct {
+	size    int64
+	modNano int64
+	digest  string
+}
+
+// fileDigestCache memoizes content digests of file-backed graphs, keyed
+// by path (exactly one live entry per file — an edit replaces the entry
+// rather than leaking the stale one) and validated by (size, mtime) so an
+// edited file re-hashes while steady-state requests never re-read bytes.
+var fileDigestCache = struct {
+	sync.Mutex
+	m map[string]fileDigest
+}{m: make(map[string]fileDigest)}
+
+// graphIdentity returns the content-addressable identity of a graph spec:
+// "name:<name>" for registered synthetic datasets (their generation is
+// deterministic, so the name pins the content) or "file:<sha256>" for
+// file-backed graphs.
+func graphIdentity(spec string) (string, error) {
+	ds, err := graph.Resolve(spec)
+	if err != nil {
+		return "", err
+	}
+	if ds.Kind != graph.KindFile {
+		return "name:" + ds.Name, nil
+	}
+	fi, err := os.Stat(ds.Path)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	fileDigestCache.Lock()
+	d, ok := fileDigestCache.m[ds.Path]
+	fileDigestCache.Unlock()
+	if ok && d.size == fi.Size() && d.modNano == fi.ModTime().UnixNano() {
+		return d.digest, nil
+	}
+	f, err := os.Open(ds.Path)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	d = fileDigest{size: fi.Size(), modNano: fi.ModTime().UnixNano(),
+		digest: "file:" + hex.EncodeToString(h.Sum(nil))}
+	fileDigestCache.Lock()
+	fileDigestCache.m[ds.Path] = d
+	fileDigestCache.Unlock()
+	return d.digest, nil
+}

@@ -1,0 +1,142 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"grasp/internal/sim"
+)
+
+// Outcome is the persisted result of one completed job, addressed by the
+// spec hash. Exactly one of Single/Output is populated, matching the kind.
+type Outcome struct {
+	// Hash is the content address of the spec that produced this outcome.
+	Hash string `json:"hash"`
+	// Spec is the canonicalized job spec.
+	Spec Spec `json:"spec"`
+	// Single holds the cache metrics of a KindSingle run.
+	Single *sim.Result `json:"single,omitempty"`
+	// Output holds the rendered text body of a KindExperiment run.
+	Output string `json:"output,omitempty"`
+	// Elapsed is the simulation wall-clock in seconds (0 for cache hits).
+	Elapsed float64 `json:"elapsed_seconds"`
+	// Finished is when the simulation completed.
+	Finished time.Time `json:"finished"`
+}
+
+// Store is the persistent, content-addressed result store: one JSON file
+// per outcome under dir, named <hash>.json, written atomically (temp file
+// + rename — the same torn-write discipline as the graph registry's .gcsr
+// sidecars) and fronted by an in-memory map so repeat hits never touch the
+// disk. Safe for concurrent use.
+type Store struct {
+	dir string
+	mu  sync.RWMutex
+	mem map[string]*Outcome
+}
+
+// OpenStore opens (creating if needed) the result store rooted at dir and
+// indexes the outcomes already on disk, so a restarted daemon serves its
+// predecessor's results.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	s := &Store{dir: dir, mem: make(map[string]*Outcome)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		hash, ok := strings.CutSuffix(name, ".json")
+		if !ok || e.IsDir() {
+			continue
+		}
+		if o := s.readFile(hash); o != nil {
+			s.mem[hash] = o
+		}
+	}
+	return s, nil
+}
+
+// Len returns the number of stored outcomes.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Get returns the stored outcome for hash, or nil if none exists.
+func (s *Store) Get(hash string) *Outcome {
+	s.mu.RLock()
+	o := s.mem[hash]
+	s.mu.RUnlock()
+	if o != nil {
+		return o
+	}
+	// A sibling process may have written the file after we indexed.
+	if o = s.readFile(hash); o != nil {
+		s.mu.Lock()
+		s.mem[hash] = o
+		s.mu.Unlock()
+	}
+	return o
+}
+
+// Put persists the outcome under its hash. Failures to write the disk copy
+// are returned but the in-memory index is updated regardless, so the
+// running daemon still serves the result.
+func (s *Store) Put(o *Outcome) error {
+	s.mu.Lock()
+	s.mem[o.Hash] = o
+	s.mu.Unlock()
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".outcome-tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(o.Hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// path returns the on-disk location of hash's outcome file. Hashes are
+// hex, but sanitize anyway so a hostile hash can never escape the dir.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, filepath.Base(hash)+".json")
+}
+
+// readFile loads one outcome from disk, returning nil on any failure (a
+// missing or torn file just means a cache miss; Put writes atomically so
+// torn files only arise from external interference).
+func (s *Store) readFile(hash string) *Outcome {
+	data, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil
+	}
+	var o Outcome
+	if err := json.Unmarshal(data, &o); err != nil || o.Hash != hash {
+		return nil
+	}
+	return &o
+}

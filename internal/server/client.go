@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"grasp/internal/jobs"
+)
+
+// Client talks to a graspd daemon; it is what `graspsim -remote` uses.
+// The zero HTTP client gets no request timeout — simulations can run for
+// minutes, and Submit with wait holds the connection open for the
+// duration.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8337".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base (scheme optional;
+// bare host:port gets "http://").
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+// httpClient returns the effective transport.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Submit posts a job and returns its accepted status without waiting.
+func (c *Client) Submit(spec jobs.Spec, priority int) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority}, &out)
+	return out, err
+}
+
+// RunSync posts a job with wait=true and returns the completed outcome —
+// served from the daemon's result store if the work was done before.
+func (c *Client) RunSync(spec jobs.Spec, priority int) (*jobs.Outcome, error) {
+	var out jobs.Outcome
+	if err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority, Wait: true}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches the current status of a job by ID.
+func (c *Client) Job(id string) (jobs.Status, error) {
+	var out jobs.Status
+	err := c.get("/jobs/"+id, &out)
+	return out, err
+}
+
+// Result fetches a stored outcome by spec hash.
+func (c *Client) Result(hash string) (*jobs.Outcome, error) {
+	var out jobs.Outcome
+	if err := c.get("/results/"+hash, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it leaves the queued/running states, with the
+// given interval, and returns its terminal status. Prefer RunSync unless
+// progress reporting is needed; onPoll (optional) observes each snapshot.
+func (c *Client) WaitJob(id string, interval time.Duration, onPoll func(jobs.Status)) (jobs.Status, error) {
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		if onPoll != nil {
+			onPoll(st)
+		}
+		if st.State == jobs.StateDone || st.State == jobs.StateFailed {
+			return st, nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// post sends a JSON body and decodes a JSON response into out.
+func (c *Client) post(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// get decodes a JSON response into out.
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	return decodeResponse(resp, out)
+}
+
+// decodeResponse maps non-2xx responses to errors (surfacing the daemon's
+// JSON error message) and unmarshals success bodies.
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("graspd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("graspd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,188 @@
+// Package server is graspd's HTTP layer (DESIGN.md Sec. 10, docs/API.md):
+// a thin REST surface over the jobs.Manager. It owns request decoding,
+// status codes and the Prometheus-style metrics rendering; all scheduling,
+// caching and dedup semantics live in internal/jobs.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"grasp/internal/jobs"
+)
+
+// SubmitRequest is the body of POST /jobs: a job spec plus scheduling
+// options that do not affect the result's content address.
+type SubmitRequest struct {
+	// Spec fields are inlined, so a client posts
+	// {"kind":"single","graph":"lj","app":"PR","policy":"GRASP"}.
+	jobs.Spec
+	// Priority orders the queue; higher runs first (default 0).
+	Priority int `json:"priority,omitempty"`
+	// Wait blocks the request until the job finishes and returns the full
+	// outcome inline (like GET /results/{hash}) instead of 202 + status.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// SubmitResponse is the body returned by POST /jobs when not waiting.
+type SubmitResponse struct {
+	// Status is the job snapshot (ID, hash, state, progress, ...).
+	jobs.Status
+	// Disposition is queued, cached or deduped.
+	Disposition jobs.Disposition `json:"disposition"`
+	// ResultURL is where the outcome is (or will be) addressable.
+	ResultURL string `json:"result_url"`
+}
+
+// Server handles graspd's REST endpoints. Create with New; it implements
+// http.Handler.
+type Server struct {
+	mgr     *jobs.Manager
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wires the endpoints over the manager.
+func New(mgr *jobs.Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /results/{hash}", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleSubmit implements POST /jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	j, disp, err := s.mgr.Submit(req.Spec, req.Priority)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, jobs.ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err)
+		return
+	}
+	if req.Wait {
+		select {
+		case <-j.Done():
+		case <-r.Context().Done():
+			httpError(w, 499, r.Context().Err()) // client closed request
+			return
+		}
+		st := j.Status()
+		if st.State == jobs.StateFailed {
+			// A job failed out by the drain sequence is a transient
+			// condition, not a spec error: report it as 503 like every
+			// other draining response so clients retry elsewhere.
+			code := http.StatusUnprocessableEntity
+			if st.Error == jobs.ErrDraining.Error() {
+				code = http.StatusServiceUnavailable
+			}
+			httpError(w, code, errors.New(st.Error))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Outcome())
+		return
+	}
+	code := http.StatusAccepted
+	if disp == jobs.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{
+		Status:      j.Status(),
+		Disposition: disp,
+		ResultURL:   "/results/" + j.Hash,
+	})
+}
+
+// handleJob implements GET /jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.mgr.Job(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleResult implements GET /results/{hash}.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	o := s.mgr.Result(r.PathValue("hash"))
+	if o == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no stored result for %q", r.PathValue("hash")))
+		return
+	}
+	writeJSON(w, http.StatusOK, o)
+}
+
+// handleHealthz implements GET /healthz: 200 "ok" while serving, 503
+// "draining" once shutdown has begun (so load balancers stop routing to a
+// daemon that is finishing its last jobs).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.mgr.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"workers":        s.mgr.Workers(),
+	})
+}
+
+// handleMetrics implements GET /metrics in Prometheus text exposition
+// format (hand-rendered; the container carries no client library).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.mgr.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP graspd_%s %s\n# TYPE graspd_%s gauge\n", name, help, name)
+		fmt.Fprintf(w, "graspd_%s %g\n", name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP graspd_%s %s\n# TYPE graspd_%s counter\n", name, help, name)
+		fmt.Fprintf(w, "graspd_%s %d\n", name, v)
+	}
+	counter("jobs_submitted_total", "Accepted job submissions (incl. cached and deduped).", m.Submitted)
+	counter("jobs_executed_total", "Jobs actually simulated by a worker.", m.Executed)
+	counter("jobs_completed_total", "Executions that finished successfully.", m.Completed)
+	counter("jobs_failed_total", "Executions that errored (incl. drained queue entries).", m.Failed)
+	counter("result_store_hits_total", "Submissions served from the persistent result store.", m.StoreHits)
+	counter("inflight_dedup_hits_total", "Submissions merged onto an identical in-flight job.", m.DedupHits)
+	counter("sim_runs_total", "Distinct sim.Run invocations across all sessions.", m.SimRuns)
+	gauge("jobs_queued", "Jobs waiting for a worker.", float64(m.Queued))
+	gauge("jobs_running", "Jobs currently simulating.", float64(m.Running))
+	gauge("stored_outcomes", "Outcomes in the persistent result store.", float64(m.StoredOutcomes))
+	gauge("cached_graph_files", "Parsed file graphs shared across requests.", float64(m.CachedGraphFiles))
+	gauge("workers", "Worker pool size (concurrency bound).", float64(s.mgr.Workers()))
+	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes a JSON error body with the given status code.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"grasp/internal/jobs"
+)
+
+// bootDaemon starts a full graspd stack (store → manager → HTTP server)
+// on an httptest listener over dir and returns a client for it.
+func bootDaemon(t *testing.T, dir string, workers int) (*Client, *jobs.Manager, *httptest.Server) {
+	t.Helper()
+	store, err := jobs.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := jobs.NewManager(store, workers)
+	ts := httptest.NewServer(New(mgr))
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		mgr.Shutdown(ctx)
+	})
+	return NewClient(ts.URL), mgr, ts
+}
+
+// fig2Spec is the CI smoke job: the paper's fig2 experiment at 1/64
+// scale — 10 datapoints, a few seconds of simulation at most.
+func fig2Spec() jobs.Spec {
+	return jobs.Spec{Kind: jobs.KindExperiment, Exp: "fig2", Scale: 64}
+}
+
+// TestSmokeCachedSecondRequest is the acceptance smoke: boot graspd,
+// submit a tiny fig2-scale job, and require the identical second request
+// to be answered from the result store — without re-simulating, and in
+// under 100ms.
+func TestSmokeCachedSecondRequest(t *testing.T) {
+	client, mgr, _ := bootDaemon(t, t.TempDir(), 2)
+
+	first, err := client.RunSync(fig2Spec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Output == "" {
+		t.Fatal("first run returned no rendered experiment body")
+	}
+	if got := mgr.Metrics().Executed; got != 1 {
+		t.Fatalf("executed = %d after first run, want 1", got)
+	}
+
+	start := time.Now()
+	second, err := client.RunSync(fig2Spec(), 0)
+	cachedIn := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Output != first.Output {
+		t.Error("cached outcome differs from the original")
+	}
+	if got := mgr.Metrics(); got.Executed != 1 || got.StoreHits != 1 {
+		t.Errorf("after second run: executed=%d storeHits=%d, want 1 and 1", got.Executed, got.StoreHits)
+	}
+	if cachedIn >= 100*time.Millisecond {
+		t.Errorf("cached second request took %v, want <100ms", cachedIn)
+	}
+
+	// Async third submission reports the cached disposition explicitly.
+	resp, err := client.Submit(fig2Spec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Disposition != jobs.Cached || !resp.Cached {
+		t.Errorf("third submit disposition = %v cached=%v, want cached", resp.Disposition, resp.Cached)
+	}
+	if got, err := client.Result(resp.Hash); err != nil || got.Output != first.Output {
+		t.Errorf("GET %s: err=%v, body match=%v", resp.ResultURL, err, err == nil && got.Output == first.Output)
+	}
+}
+
+// TestPersistenceAcrossRestart: a rebooted daemon over the same data dir
+// answers from disk.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	client1, _, ts1 := bootDaemon(t, dir, 1)
+	spec := jobs.Spec{Kind: jobs.KindSingle, Graph: "uni", App: "PR", Policy: "GRASP", Scale: 256}
+	first, err := client1.RunSync(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	client2, mgr2, _ := bootDaemon(t, dir, 1)
+	resp, err := client2.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Disposition != jobs.Cached {
+		t.Fatalf("restarted daemon disposition = %v, want cached", resp.Disposition)
+	}
+	if mgr2.Metrics().Executed != 0 {
+		t.Error("restarted daemon re-simulated stored work")
+	}
+	got, err := client2.Result(first.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Single == nil || got.Single.LLC.Misses != first.Single.LLC.Misses {
+		t.Error("restarted daemon served different metrics")
+	}
+}
+
+// TestJobLifecycleEndpoints exercises the async path: submit without
+// wait, poll GET /jobs/{id} to completion, fetch GET /results/{hash}.
+func TestJobLifecycleEndpoints(t *testing.T) {
+	client, _, _ := bootDaemon(t, t.TempDir(), 1)
+	spec := jobs.Spec{Kind: jobs.KindSingle, Graph: "uni", App: "BFS", Policy: "LRU", Scale: 256}
+	resp, err := client.Submit(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Disposition != jobs.Queued || resp.ID == "" || resp.Hash == "" {
+		t.Fatalf("unexpected submit response: %+v", resp)
+	}
+	if resp.Priority != 3 {
+		t.Errorf("priority = %d, want 3", resp.Priority)
+	}
+	st, err := client.WaitJob(resp.ID, 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	o, err := client.Result(resp.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Single == nil || o.Spec.App != "BFS" {
+		t.Errorf("stored outcome wrong: %+v", o)
+	}
+}
+
+// TestValidationAndNotFound covers the 4xx surface.
+func TestValidationAndNotFound(t *testing.T) {
+	client, _, ts := bootDaemon(t, t.TempDir(), 1)
+	if _, err := client.Submit(jobs.Spec{Kind: "nope"}, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown job kind") {
+		t.Errorf("bad kind error = %v", err)
+	}
+	if _, err := client.Submit(jobs.Spec{Kind: jobs.KindExperiment, Exp: "fig99"}, 0); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := client.Job("j999999"); err == nil || !strings.Contains(err.Error(), "404") &&
+		!strings.Contains(err.Error(), "unknown job") {
+		t.Errorf("missing job error = %v", err)
+	}
+	if _, err := client.Result("deadbeef"); err == nil {
+		t.Error("missing result did not 404")
+	}
+	// Unknown body fields are rejected (catches misspelled spec keys).
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"single","graph":"uni","polcy":"LRU"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("misspelled field got HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzAndMetrics checks the observability endpoints, including the
+// healthz flip to 503 once draining.
+func TestHealthzAndMetrics(t *testing.T) {
+	client, mgr, ts := bootDaemon(t, t.TempDir(), 1)
+	if _, err := client.RunSync(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni", Scale: 256}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Workers != 1 {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"graspd_jobs_submitted_total 1",
+		"graspd_jobs_executed_total 1",
+		"graspd_sim_runs_total 1",
+		"graspd_stored_outcomes 1",
+		"graspd_workers 1",
+	} {
+		if !strings.Contains(string(body), metric) {
+			t.Errorf("metrics missing %q:\n%s", metric, body)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d, want 503", resp.StatusCode)
+	}
+	if _, err := client.Submit(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni", Scale: 256}, 0); err == nil ||
+		!strings.Contains(err.Error(), "draining") {
+		t.Errorf("submit while draining = %v, want draining error", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Command doclint is the repository's doc-comment linter: it fails if any
+// exported symbol in the audited packages lacks a doc comment. It exists
+// because the container has no third-party linters (revive, golint); the
+// check is ~150 lines of go/ast walking, so we carry it in-tree and run it
+// from CI (`go run ./tools/doclint ./internal/... ./cmd/...`).
+//
+// A symbol counts as documented if its declaration (or, for grouped
+// declarations like `var ( A = 1; B = 2 )`, the individual spec) carries a
+// comment. Doc comments must start with the symbol's name, per standard Go
+// style, except for grouped specs where any comment is accepted.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		dirs = append(dirs, expand(a)...)
+	}
+	bad := 0
+	for _, dir := range dirs {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// expand turns a "./pkg/..." pattern into the list of directories under it
+// that contain .go files; plain paths are returned as-is.
+func expand(pattern string) []string {
+	root, rec := strings.CutSuffix(pattern, "/...")
+	if !rec {
+		return []string{pattern}
+	}
+	var out []string
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		// Never skip the walk root itself: for "./..." it is named "."
+		// and would otherwise trip the hidden-directory skip, silently
+		// linting nothing.
+		if base := d.Name(); path != root &&
+			(base == "testdata" || strings.HasPrefix(base, ".")) {
+			return filepath.SkipDir
+		}
+		if m, _ := filepath.Glob(filepath.Join(path, "*.go")); len(m) > 0 {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out
+}
+
+// lintDir reports every undocumented exported symbol in the package at dir
+// and returns the count. Test files are skipped: their exported helpers are
+// not part of the package API.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: undocumented exported %s: %s\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && !exportedRecv(d) && !documented(d.Doc, d.Name.Name) {
+						report(d.Pos(), "function", funcName(d))
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether d is a method on an unexported receiver
+// type — those are not part of the package API even when the method name
+// is exported (e.g. interface implementations on private types).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// funcName renders "Recv.Name" for methods, "Name" for functions.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		if id := recvIdent(d.Recv.List[0].Type); id != "" {
+			return id + "." + d.Name.Name
+		}
+	}
+	return d.Name.Name
+}
+
+// recvIdent extracts the base type name of a receiver expression.
+func recvIdent(t ast.Expr) string {
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// lintGenDecl checks const/var/type declarations. A doc comment on the
+// grouped decl documents the group; otherwise each exported spec needs its
+// own comment (doc or trailing line comment).
+func lintGenDecl(d *ast.GenDecl, report func(pos token.Pos, kind, name string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !documented(s.Doc, s.Name.Name) {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// documented reports whether doc is a well-formed doc comment for name:
+// present, and starting with the symbol's name (standard Go doc style,
+// which godoc and pkg.go.dev rely on for linking).
+func documented(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	text := doc.Text()
+	first, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+	first = strings.TrimSuffix(first, ",")
+	// Accept "A Foo ..." / "An Foo ..." / "The Foo ..." openers as godoc does.
+	if first == "A" || first == "An" || first == "The" {
+		rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), first))
+		first, _, _ = strings.Cut(rest, " ")
+	}
+	return strings.TrimSuffix(first, ",") == name
+}
