@@ -134,6 +134,14 @@ func main() {
 	}
 
 	if o.remote != "" {
+		// -bench-json records the LOCAL engine's phase split; a remote
+		// daemon's timing is not observable per phase, so silently writing
+		// nothing (or misleading client-side numbers) is worse than
+		// refusing.
+		if o.benchJSON != "" {
+			fmt.Fprintln(os.Stderr, "graspsim: -bench-json is not supported with -remote (benchmarks measure the local engine)")
+			os.Exit(1)
+		}
 		if err := runRemote(o, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
 			os.Exit(1)

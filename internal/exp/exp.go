@@ -14,8 +14,10 @@ package exp
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +105,20 @@ func (f *flightCache[V]) len() int {
 	return len(f.m)
 }
 
+// deleteMatching drops every memoized entry whose key satisfies match.
+// Callers already blocked on an in-flight computation are unaffected —
+// they hold the call struct directly and still receive its outcome — the
+// entry just stops being findable, so the next request recomputes.
+func (f *flightCache[V]) deleteMatching(match func(key string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for k := range f.m {
+		if match(k) {
+			delete(f.m, k)
+		}
+	}
+}
+
 // Session caches prepared workloads, simulation results and LLC traces so
 // experiments sharing datapoints (e.g. fig5 and fig6) do not repeat work.
 // It is safe for concurrent use: simultaneous requests for one datapoint —
@@ -114,6 +130,20 @@ type Session struct {
 	results   *flightCache[sim.Result]
 	traces    *flightCache[tracePair]
 	simRuns   atomic.Uint64 // number of sim.Run invocations (dedup observability)
+
+	stampMu sync.Mutex
+	stamps  map[string]fileStamp // graph-file spec -> last observed stamp
+}
+
+// fileStamp is one observed (size, mtime) state of a graph file.
+type fileStamp struct {
+	size    int64
+	modNano int64
+}
+
+// key renders the stamp as the cache-key suffix for dsName.
+func (st fileStamp) key(dsName string) string {
+	return fmt.Sprintf("%s@%d.%d", dsName, st.size, st.modNano)
 }
 
 type tracePair struct {
@@ -126,7 +156,8 @@ func NewSession(cfg Config) *Session {
 	return &Session{Cfg: cfg,
 		workloads: newFlightCache[*sim.Workload](),
 		results:   newFlightCache[sim.Result](),
-		traces:    newFlightCache[tracePair]()}
+		traces:    newFlightCache[tracePair](),
+		stamps:    make(map[string]fileStamp)}
 }
 
 // SimRuns returns the number of simulations the session has executed —
@@ -134,12 +165,66 @@ func NewSession(cfg Config) *Session {
 // access pattern this equals the number of distinct result datapoints.
 func (s *Session) SimRuns() uint64 { return s.simRuns.Load() }
 
+// datasetKey returns the cache-key component for a dataset spec. Specs
+// that resolve to synthetic datasets key as themselves (generation is
+// deterministic — and a stray file shadowing a builtin name is ignored,
+// matching graph.Resolve's precedence), but a graph-file spec is suffixed
+// with the file's (size, mtime) stamp: a Session can outlive many edits
+// of a file (graspd keeps one per scale for the daemon's lifetime), and
+// without the stamp the workload/result/trace memos would keep serving
+// the parse of the original bytes after the graph registry has
+// re-ingested the edited file. When a file's stamp advances, every entry
+// under any other stamp of that file is evicted from all three memos —
+// they pin whole parsed/reordered graphs and LLC traces, which would
+// otherwise leak for the session's lifetime, one generation per edit
+// (evicting all generations, not just the recorded one, also sweeps
+// entries created under a rolled-back stamp, e.g. after a backup
+// restore). Transitions are accepted only forward (never to an older
+// mtime): a goroutine still holding a stat taken just before a concurrent
+// edit must not roll the recorded stamp back, evicting the newer entries
+// and thrashing the caches; it keys under what it observed and moves on
+// (those entries persist until the next advance sweeps them — at most one
+// stale generation, not one per edit).
+func (s *Session) datasetKey(dsName string) string {
+	ds, err := graph.Resolve(dsName)
+	if err != nil || ds.Kind != graph.KindFile {
+		return dsName
+	}
+	fi, err := os.Stat(ds.Path)
+	if err != nil {
+		return dsName
+	}
+	cur := fileStamp{size: fi.Size(), modNano: fi.ModTime().UnixNano()}
+	s.stampMu.Lock()
+	prev, seen := s.stamps[dsName]
+	advance := !seen || cur.modNano > prev.modNano ||
+		(cur.modNano == prev.modNano && cur.size != prev.size)
+	if advance {
+		s.stamps[dsName] = cur
+	}
+	s.stampMu.Unlock()
+	if seen && advance {
+		// Sweep every generation but the current one. Keying is atomic in
+		// the memos (do() inserts under the caller's full key), so entries
+		// being computed under cur's key right now are untouched.
+		curKey := cur.key(dsName)
+		for _, c := range []interface{ deleteMatching(func(string) bool) }{
+			s.workloads, s.results, s.traces,
+		} {
+			c.deleteMatching(func(k string) bool {
+				return strings.HasPrefix(k, dsName+"@") && !strings.HasPrefix(k, curKey+"|")
+			})
+		}
+	}
+	return cur.key(dsName)
+}
+
 // LLCTrace returns the recorded LLC access trace and ABR bounds for one
 // (dataset, app) datapoint under DBG reordering, collecting and caching it
 // on first use (used by the OPT experiments, which replay one trace at
 // many LLC sizes).
 func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
-	key := dsName + "|" + app
+	key := s.datasetKey(dsName) + "|" + app
 	tp, err := s.traces.do(key, func() (tracePair, error) {
 		w, err := s.Workload(dsName, "DBG", app == "SSSP")
 		if err != nil {
@@ -160,9 +245,10 @@ func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
 
 // Workload returns the prepared (dataset, reorder) pair, preparing and
 // caching it on first use. dsName goes through the dataset registry's
-// resolver, so it can be a paper dataset name or a graph-file path.
+// resolver, so it can be a paper dataset name or a graph-file path
+// (re-prepared if the file changes; see datasetKey).
 func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Workload, error) {
-	key := fmt.Sprintf("%s|%s|%v", dsName, reorderName, weighted)
+	key := fmt.Sprintf("%s|%s|%v", s.datasetKey(dsName), reorderName, weighted)
 	return s.workloads.do(key, func() (*sim.Workload, error) {
 		ds, err := graph.Resolve(dsName)
 		if err != nil {
@@ -175,7 +261,7 @@ func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Work
 // Result returns the metrics of one simulation datapoint, running and
 // caching it on first use.
 func (s *Session) Result(dsName, reorderName, app string, layout apps.Layout, policy string) (sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|%s|%v|%s", dsName, reorderName, app, layout, policy)
+	key := fmt.Sprintf("%s|%s|%s|%v|%s", s.datasetKey(dsName), reorderName, app, layout, policy)
 	return s.results.do(key, func() (sim.Result, error) {
 		weighted := app == "SSSP"
 		w, err := s.Workload(dsName, reorderName, weighted)

@@ -2,11 +2,14 @@ package exp
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"grasp/internal/apps"
+	"grasp/internal/graph"
 	"grasp/internal/stats"
 )
 
@@ -69,6 +72,57 @@ func TestSessionCachesResults(t *testing.T) {
 	}
 	if n := s.SimRuns(); n != 1 {
 		t.Fatalf("expected 1 simulation run, have %d", n)
+	}
+}
+
+// TestSessionRevalidatesAndEvictsFileWorkloads: a file-backed graph's
+// session cache entries are keyed by the file's (size, mtime) stamp, so
+// an edit re-prepares the workload — and the superseded entry is evicted
+// rather than pinning the old parsed graph for the session's lifetime.
+func TestSessionRevalidatesAndEvictsFileWorkloads(t *testing.T) {
+	t.Parallel()
+	s := testSession()
+	path := filepath.Join(t.TempDir(), "sess.el")
+	writeGraph := func(g *graph.CSR) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeGraph(graph.GenPath(6))
+	w1, err := s.Workload(path, "DBG", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2, err := s.Workload(path, "DBG", false); err != nil || w2 != w1 {
+		t.Fatalf("unchanged file not served from the memo (err=%v)", err)
+	}
+	if n := s.workloads.len(); n != 1 {
+		t.Fatalf("workload memo holds %d entries, want 1", n)
+	}
+
+	edited := graph.GenCycle(9)
+	writeGraph(edited)
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := s.Workload(path, "DBG", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 == w1 {
+		t.Fatal("edited file served the stale workload")
+	}
+	if got := w3.Graph.NumVertices(); got != edited.NumVertices() {
+		t.Fatalf("reloaded workload has %d vertices, want the edited file's %d", got, edited.NumVertices())
+	}
+	if n := s.workloads.len(); n != 1 {
+		t.Fatalf("workload memo holds %d entries after edit, want 1 (superseded entry evicted)", n)
 	}
 }
 

@@ -1,7 +1,10 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,8 +15,10 @@ import (
 // the paper's synthetic stand-ins AND any ingested file — through one
 // resolver, so `-graph web-Google.txt` and `-dataset tw` flow down the
 // same Dataset -> Workload -> simulation path. File-backed datasets are
-// parsed once per process (in-memory memo) and converted once per file
-// (a sidecar .gcsr cache next to the source, reused while fresh).
+// parsed once per file state (an in-memory memo validated by size/mtime,
+// so edits re-ingest) and converted once per file state (a sidecar .gcsr
+// cache next to the source, reused while the source matches the
+// size/mtime stamp recorded at conversion).
 
 // Resolve maps a dataset spec — a paper dataset name (lj, pl, tw, kr, sd,
 // fr, uni) or a path to a graph file (.txt/.el/.wel/.mtx/.gcsr) — to a
@@ -68,16 +73,28 @@ func (d Dataset) Load(weighted bool, scaleDiv uint32) (*CSR, error) {
 // fileEntry is one file's slot in the memo: the once gate gives per-key
 // singleflight semantics, so concurrent loads of different files ingest
 // in parallel while concurrent loads of the same file share one parse.
+// size/modNano are the source file's stat stamp captured when the entry
+// was created; loadFileCached compares them against the current stat and
+// replaces the entry on mismatch.
 type fileEntry struct {
-	once sync.Once
-	g    *CSR
-	err  error
+	once    sync.Once
+	g       *CSR
+	err     error
+	size    int64
+	modNano int64
 }
 
 // fileCache is the process-wide memo of parsed file graphs, keyed by
-// cleaned path. Stored graphs are immutable (Load's weight adjustments
-// build new CSR headers; CSRs are never mutated after construction), so
-// concurrent Sessions can share them.
+// cleaned path and validated by (size, mtime): in a long-lived daemon an
+// edited graph file must re-ingest, or its new content address (the jobs
+// layer hashes file bytes) would be paired with the stale parsed graph
+// and the wrong outcome persisted under the new hash. Stored graphs are
+// immutable (Load's weight adjustments build new CSR headers; CSRs are
+// never mutated after construction), so concurrent Sessions can share
+// them. Eviction is per path generation only: DISTINCT paths accumulate
+// for the process lifetime, so a daemon's resident memory scales with the
+// number of different graph files ever submitted (an operational bound
+// documented in DESIGN.md Sec. 10, not enforced here).
 var fileCache = struct {
 	sync.Mutex
 	m map[string]*fileEntry
@@ -97,21 +114,35 @@ func CachedFiles() int {
 // loadFileCached loads a graph file through two cache layers: the
 // in-memory memo, then — for text formats — a sidecar "<path>.gcsr"
 // binary conversion that is written on first ingest and reused on later
-// runs while it is at least as new as the source.
+// runs while the source still matches the (size, mtime) stamp recorded
+// next to it. The memo entry is
+// validated against the file's current (size, mtime) — the same freshness
+// rule the jobs layer uses for content digests — so editing a file
+// between requests re-ingests it instead of serving the stale parse.
 func loadFileCached(path string) (*CSR, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	size, modNano := fi.Size(), fi.ModTime().UnixNano()
 	key := filepath.Clean(path)
 	fileCache.Lock()
 	e, ok := fileCache.m[key]
-	if !ok {
-		e = &fileEntry{}
+	if !ok || e.size != size || e.modNano != modNano {
+		e = &fileEntry{size: size, modNano: modNano}
 		fileCache.m[key] = e
 	}
 	fileCache.Unlock()
-	e.once.Do(func() { e.g, e.err = loadFile(path) })
+	// The entry's validation stamp and the load derive from the same stat,
+	// so the memo can never mark one file state fresh while the sidecar
+	// machinery recorded another.
+	e.once.Do(func() { e.g, e.err = loadFile(path, fi) })
 	return e.g, e.err
 }
 
-func loadFile(path string) (*CSR, error) {
+// loadFile ingests one graph file; srci is the source's stat the caller
+// validated against (unused for direct .gcsr files).
+func loadFile(path string, srci os.FileInfo) (*CSR, error) {
 	if strings.EqualFold(filepath.Ext(path), ".gcsr") {
 		f, err := os.Open(path)
 		if err != nil {
@@ -121,26 +152,44 @@ func loadFile(path string) (*CSR, error) {
 		return ReadFrom(f)
 	}
 	sidecar := path + ".gcsr"
-	if g := readFreshSidecar(path, sidecar); g != nil {
+	if g := readFreshSidecar(srci, sidecar); g != nil {
 		return g, nil
 	}
 	g, err := ReadGraphFile(path)
 	if err != nil {
 		return nil, err
 	}
-	writeSidecar(sidecar, g) // best-effort: the parse result is authoritative
+	writeSidecar(sidecar, g, srci) // best-effort: the parse result is authoritative
 	return g, nil
 }
 
-// readFreshSidecar returns the cached conversion if it exists, is at least
-// as new as the source, and parses; any failure just means re-ingesting.
-func readFreshSidecar(src, sidecar string) *CSR {
-	si, err := os.Stat(sidecar)
+// sidecarStamp is the path of the file recording which source state
+// ("<size> <mtime-unixnano>") a sidecar was converted from.
+func sidecarStamp(sidecar string) string { return sidecar + ".stamp" }
+
+// readFreshSidecar returns the cached conversion if its stamp records
+// exactly the source's current (size, mtime) AND the sidecar's own
+// content digest, and it parses; any failure just means re-ingesting.
+// Exact source equality matters: an mtime-ordering check ("sidecar at
+// least as new as the source") would trust the stale conversion after the
+// source is replaced by an *older* file — a `cp -p` backup restore,
+// `git checkout`, `tar -p` — pairing the previous content's parse with
+// the restored content's identity. The sidecar digest closes the
+// cross-process write race: two processes converting across a concurrent
+// source edit can interleave their two renames so one's stamp lands next
+// to the other's sidecar, and only a stamp that vouches for the sidecar
+// bytes themselves makes that torn pair detectable.
+func readFreshSidecar(srci os.FileInfo, sidecar string) *CSR {
+	b, err := os.ReadFile(sidecarStamp(sidecar))
 	if err != nil {
 		return nil
 	}
-	srci, err := os.Stat(src)
-	if err != nil || si.ModTime().Before(srci.ModTime()) {
+	var size, modNano int64
+	var digest string
+	if _, err := fmt.Sscanf(string(b), "%d %d %s", &size, &modNano, &digest); err != nil {
+		return nil
+	}
+	if size != srci.Size() || modNano != srci.ModTime().UnixNano() {
 		return nil
 	}
 	f, err := os.Open(sidecar)
@@ -148,32 +197,67 @@ func readFreshSidecar(src, sidecar string) *CSR {
 		return nil
 	}
 	defer f.Close()
-	g, err := ReadFrom(f)
+	// Hash during the parse read (one I/O pass, not read-then-reread),
+	// drain whatever trails the GCSR payload so the digest covers the
+	// whole file, and only then trust the parsed graph.
+	h := sha256.New()
+	g, err := ReadFrom(io.TeeReader(f, h))
 	if err != nil {
+		return nil
+	}
+	if _, err := io.Copy(h, f); err != nil {
+		return nil
+	}
+	if hex.EncodeToString(h.Sum(nil)) != digest {
 		return nil
 	}
 	return g
 }
 
-// writeSidecar persists the GCSR conversion atomically (temp file +
-// rename) so a crashed or concurrent run never leaves a torn cache.
-func writeSidecar(sidecar string, g *CSR) {
-	tmp, err := os.CreateTemp(filepath.Dir(sidecar), ".gcsr-tmp-*")
-	if err != nil {
+// writeSidecar persists the GCSR conversion and its source stamp, each
+// atomically (temp file + rename), so a crashed or concurrent run never
+// leaves a torn cache. Ordering is load-bearing: the old stamp is removed
+// first and the new one written last, so every crash window leaves a
+// missing or mismatching stamp (re-ingest, safe) rather than a fresh
+// stamp vouching for a stale sidecar; the stamp also records the sidecar
+// bytes' digest, so even interleaved renames from two processes cannot
+// produce a stamp that validates the other process's sidecar.
+func writeSidecar(sidecar string, g *CSR, srci os.FileInfo) {
+	os.Remove(sidecarStamp(sidecar))
+	h := sha256.New()
+	if !writeFileAtomic(sidecar, func(f *os.File) error {
+		_, err := g.WriteTo(io.MultiWriter(f, h))
+		return err
+	}) {
 		return
 	}
-	if _, err := g.WriteTo(tmp); err != nil {
+	writeFileAtomic(sidecarStamp(sidecar), func(f *os.File) error {
+		_, err := fmt.Fprintf(f, "%d %d %s\n",
+			srci.Size(), srci.ModTime().UnixNano(), hex.EncodeToString(h.Sum(nil)))
+		return err
+	})
+}
+
+// writeFileAtomic writes path via a temp file + rename, reporting success.
+func writeFileAtomic(path string, fill func(*os.File) error) bool {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gcsr-tmp-*")
+	if err != nil {
+		return false
+	}
+	if err := fill(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return
+		return false
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return
+		return false
 	}
-	if err := os.Rename(tmp.Name(), sidecar); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return false
 	}
+	return true
 }
 
 // syntheticWeightSeed makes file-graph weights reproducible across runs

@@ -2,9 +2,13 @@ package graph
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestResolveBuiltinNames(t *testing.T) {
@@ -85,13 +89,99 @@ func TestResolveAndLoadFile(t *testing.T) {
 	}
 }
 
+// TestLoadReingestsEditedFile: the in-memory memo is validated by
+// (size, mtime), so editing a graph file between loads re-ingests it
+// instead of serving the stale parse. This matters in a long-lived
+// daemon: the jobs layer content-addresses file graphs by their bytes,
+// and a stale memo would pair the new address with the old graph.
+func TestLoadReingestsEditedFile(t *testing.T) {
+	ref := GenPath(6)
+	dir := t.TempDir()
+	path := writeTestEdgeList(t, dir, "edit.el", ref)
+	d, err := Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := d.Load(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumVertices() != ref.NumVertices() {
+		t.Fatalf("first load has %d vertices, want %d", g1.NumVertices(), ref.NumVertices())
+	}
+
+	// Overwrite with a different graph and push the mtime into the future,
+	// so neither coarse filesystem timestamps nor the (now stale) sidecar
+	// can mask the edit.
+	edited := GenCycle(9)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, edited); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := d.Load(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == g1 {
+		t.Fatal("edited file served from the stale memo")
+	}
+	if g2.NumVertices() != edited.NumVertices() {
+		t.Fatalf("reloaded graph has %d vertices, want the edited file's %d",
+			g2.NumVertices(), edited.NumVertices())
+	}
+}
+
+// plantStamp writes a sidecar stamp recording the source's CURRENT state
+// and the sidecar's current content digest, as a successful conversion
+// would have.
+func plantStamp(t *testing.T, src, sidecar string) {
+	t.Helper()
+	fi, err := os.Stat(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(b)
+	stamp := []byte(fmt.Sprintf("%d %d %s\n",
+		fi.Size(), fi.ModTime().UnixNano(), hex.EncodeToString(sum[:])))
+	if err := os.WriteFile(sidecarStamp(sidecar), stamp, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mustLoadFile stats path and ingests it, failing the test on error.
+func mustLoadFile(t *testing.T, path string) *CSR {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadFile(path, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
 func TestLoadPrefersFreshSidecar(t *testing.T) {
 	ref := GenPath(6)
 	dir := t.TempDir()
 	path := writeTestEdgeList(t, dir, "cached.el", ref)
 
-	// Plant a sidecar describing a DIFFERENT graph with a newer mtime: the
-	// loader must trust it (that is what "cached conversion" means).
+	// Plant a sidecar describing a DIFFERENT graph with a stamp matching
+	// the source's current state: the loader must trust it (that is what
+	// "cached conversion" means).
 	other := GenCycle(9)
 	var buf bytes.Buffer
 	if _, err := other.WriteTo(&buf); err != nil {
@@ -100,10 +190,8 @@ func TestLoadPrefersFreshSidecar(t *testing.T) {
 	if err := os.WriteFile(path+".gcsr", buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err := loadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plantStamp(t, path, path+".gcsr")
+	g := mustLoadFile(t, path)
 	if g.NumVertices() != other.NumVertices() {
 		t.Fatalf("loaded %d vertices, want the sidecar's %d", g.NumVertices(), other.NumVertices())
 	}
@@ -112,12 +200,60 @@ func TestLoadPrefersFreshSidecar(t *testing.T) {
 	if err := os.WriteFile(path+".gcsr", []byte("GCSRgarbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	g, err = loadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	plantStamp(t, path, path+".gcsr")
+	g = mustLoadFile(t, path)
 	if g.NumVertices() != ref.NumVertices() {
 		t.Fatalf("fallback loaded %d vertices, want %d", g.NumVertices(), ref.NumVertices())
+	}
+
+	// A sidecar whose bytes do not match the stamp's digest (the torn
+	// state two racing processes can leave) is rejected even though the
+	// source stamp matches.
+	var swapped bytes.Buffer
+	if _, err := GenCycle(4).WriteTo(&swapped); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".gcsr", swapped.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The stamp (rewritten by the fallback re-ingest above) digests the
+	// previous conversion, not the swapped-in bytes.
+	g = mustLoadFile(t, path)
+	if g.NumVertices() != ref.NumVertices() {
+		t.Fatalf("digest-mismatched sidecar trusted: loaded %d vertices, want re-ingested %d",
+			g.NumVertices(), ref.NumVertices())
+	}
+}
+
+// TestSidecarRejectsRestoredOlderSource: replacing the source with a file
+// whose mtime predates the sidecar (cp -p backup restore, git checkout)
+// must invalidate the conversion. An mtime-ordering check ("sidecar newer
+// than source") would trust it and serve the previous content's parse
+// under the restored content's identity; the exact-stamp check re-ingests.
+func TestSidecarRejectsRestoredOlderSource(t *testing.T) {
+	v2 := GenCycle(9)
+	dir := t.TempDir()
+	path := writeTestEdgeList(t, dir, "restored.el", v2)
+	mustLoadFile(t, path) // writes sidecar + stamp for v2
+
+	// Restore "v1": different content with an mtime OLDER than the sidecar.
+	v1 := GenPath(6)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	g := mustLoadFile(t, path)
+	if g.NumVertices() != v1.NumVertices() {
+		t.Fatalf("loaded %d vertices, want the restored file's %d (stale sidecar trusted)",
+			g.NumVertices(), v1.NumVertices())
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,12 @@ type Job struct {
 	Priority int
 	// Submitted is when the job entered the manager.
 	Submitted time.Time
+
+	// graphID is the graph content identity the spec hash digested
+	// ("file:<sha256>" for file-backed graphs); runJob re-verifies it
+	// after execution so an edit while the job waited cannot persist the
+	// new file's metrics under the old content address.
+	graphID string
 
 	mu       sync.Mutex
 	state    string
@@ -199,7 +206,7 @@ func (m *Manager) Submit(spec Spec, priority int) (*Job, Disposition, error) {
 	if err := spec.Canonicalize(); err != nil {
 		return nil, "", err
 	}
-	hash, err := spec.Hash()
+	gid, hash, err := spec.identityAndHash()
 	if err != nil {
 		return nil, "", err
 	}
@@ -235,6 +242,7 @@ func (m *Manager) Submit(spec Spec, priority int) (*Job, Disposition, error) {
 	j := &Job{
 		ID: m.nextID(), Hash: hash, Spec: spec, Priority: priority,
 		Submitted: now, state: StateQueued, done: make(chan struct{}),
+		graphID: gid,
 	}
 	if !m.q.Push(j) {
 		return nil, "", ErrDraining
@@ -308,6 +316,10 @@ func (m *Manager) runJob(j *Job) {
 		m.settle(j, nil, err)
 		return
 	}
+	if err := j.verifyGraphIdentity(); err != nil {
+		m.settle(j, nil, err)
+		return
+	}
 	outcome.Hash = j.Hash
 	outcome.Spec = j.Spec
 	outcome.Elapsed = time.Since(start).Seconds()
@@ -315,7 +327,7 @@ func (m *Manager) runJob(j *Job) {
 	if perr := m.store.Put(outcome); perr != nil {
 		// The in-memory index still serves it; losing persistence across
 		// restarts is worth surfacing but not failing the job over.
-		fmt.Printf("jobs: persisting %s: %v\n", j.Hash, perr)
+		log.Printf("jobs: persisting %s: %v", j.Hash, perr)
 	}
 	m.settle(j, outcome, nil)
 }

@@ -1,13 +1,17 @@
 package jobs
 
 import (
+	"bytes"
 	"container/heap"
 	"context"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"grasp/internal/exp"
+	"grasp/internal/graph"
 )
 
 // tinySpec is a spec small enough to simulate in milliseconds (512-vertex
@@ -212,6 +216,111 @@ func TestConcurrentDedupSharedResult(t *testing.T) {
 		if o.Single.LLC.Misses != outcomes[0].Single.LLC.Misses {
 			t.Errorf("caller %d saw different metrics", i)
 		}
+	}
+}
+
+// TestEditedFileGraphReSimulates: editing a file-backed graph between
+// submissions to a long-lived manager must both move the job to a new
+// content address (the spec hash digests file bytes) and re-ingest the
+// file (the graph registry memo is mtime-validated), so the new address
+// is never paired with the stale parsed graph and persisted forever.
+func TestEditedFileGraphReSimulates(t *testing.T) {
+	m := newTestManager(t, 1)
+	path := filepath.Join(t.TempDir(), "edit.el")
+	writeGraph := func(g *graph.CSR) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := func() Spec { return Spec{Kind: KindSingle, Graph: path, App: "PR", Scale: 256} }
+
+	writeGraph(graph.GenRMATDefault(6, 4, 13, false))
+	j1, disp, err := m.Submit(spec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != Queued {
+		t.Fatalf("first submit disposition = %v, want %v", disp, Queued)
+	}
+	<-j1.Done()
+	if st := j1.Status(); st.State != StateDone {
+		t.Fatalf("first job failed: %s", st.Error)
+	}
+
+	// Replace the file with a 4x larger graph; the future mtime defeats
+	// coarse filesystem timestamps in both the digest memo and the
+	// registry's parse memo.
+	writeGraph(graph.GenRMATDefault(8, 4, 13, false))
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	j2, disp, err := m.Submit(spec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != Queued {
+		t.Fatalf("post-edit submit disposition = %v, want %v (new content address)", disp, Queued)
+	}
+	if j2.Hash == j1.Hash {
+		t.Fatal("edited file kept its content address")
+	}
+	<-j2.Done()
+	if st := j2.Status(); st.State != StateDone {
+		t.Fatalf("post-edit job failed: %s", st.Error)
+	}
+	a1 := j1.Outcome().Single.L1.Accesses()
+	a2 := j2.Outcome().Single.L1.Accesses()
+	if a2 <= a1 {
+		t.Errorf("post-edit run traced %d accesses vs %d before: stale graph simulated under the new hash", a2, a1)
+	}
+}
+
+// TestQueuedJobFailsWhenFileEditedBeforeRun: the spec hash pins a file
+// graph's bytes at submit time, but a queued job runs later — if the file
+// is edited in between, the job must FAIL rather than persist the edited
+// file's metrics under the original bytes' content address.
+func TestQueuedJobFailsWhenFileEditedBeforeRun(t *testing.T) {
+	m := idleManager(t) // no workers: the job stays queued while we edit
+	path := filepath.Join(t.TempDir(), "race.el")
+	writeGraph := func(g *graph.CSR) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := graph.WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeGraph(graph.GenRMATDefault(6, 4, 13, false))
+	j, disp, err := m.Submit(Spec{Kind: KindSingle, Graph: path, App: "PR", Scale: 256}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != Queued {
+		t.Fatalf("submit disposition = %v, want %v", disp, Queued)
+	}
+
+	writeGraph(graph.GenRMATDefault(8, 4, 13, false))
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+
+	runWorkers(m, 1)
+	<-j.Done()
+	st := j.Status()
+	if st.State != StateFailed {
+		t.Fatalf("job state = %s, want failed (file changed while queued)", st.State)
+	}
+	if m.Result(j.Hash) != nil {
+		t.Error("outcome for the edited file was persisted under the original content address")
 	}
 }
 

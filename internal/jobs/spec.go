@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 
 	"grasp/internal/apps"
@@ -119,30 +120,80 @@ func configForScale(scale uint32) exp.Config {
 	return exp.ScaledConfig(scale)
 }
 
+// hashVersion is the job-hash format preamble. The persistent result
+// store serves outcomes by hash alone, so any semantic change to the
+// simulator, the tracers, or an experiment's rendering that is not
+// visible through the spec fields below MUST bump this string — otherwise
+// a daemon with an old store silently serves pre-change outcomes under
+// unchanged addresses. (Dataset generator parameters are already covered
+// without a bump: single jobs digest their own graph's parameters and
+// experiment jobs digest the whole registry's, so retuning a generator
+// moves both kinds to new addresses.)
+const hashVersion = "grasp-job-v2"
+
 // Hash content-addresses the job: a canonical, versioned serialization of
 // everything that determines the result — graph identity (file-backed
-// graphs hash their bytes, so editing a file changes the address), app,
-// policy, reordering, experiment id, scale, and the derived cache
-// hierarchy geometry — digested with SHA-256. Specs that canonicalize
-// identically hash identically regardless of how the client spelled them.
-// The spec must have been canonicalized.
+// graphs hash their bytes, so editing a file changes the address; named
+// synthetic datasets digest their generator parameters, so retuning a
+// generator changes it too), app, policy, reordering, experiment id,
+// scale, and the derived cache hierarchy geometry — digested with
+// SHA-256. Specs that canonicalize identically hash identically
+// regardless of how the client spelled them. The spec must have been
+// canonicalized.
 func (s Spec) Hash() (string, error) {
-	gid := ""
-	if s.Kind == KindSingle {
-		var err error
+	_, hash, err := s.identityAndHash()
+	return hash, err
+}
+
+// identityAndHash computes the graph identity alongside the content
+// address it was digested into. The manager records the identity on the
+// job so it can re-verify, after execution, that the file the simulation
+// read is still the file the hash pinned — computing the identity a
+// second time at submit could observe a different file state than Hash
+// did, reintroducing that race.
+func (s Spec) identityAndHash() (gid, hash string, err error) {
+	switch s.Kind {
+	case KindSingle:
 		if gid, err = graphIdentity(s.Graph); err != nil {
-			return "", err
+			return "", "", err
 		}
+	case KindExperiment:
+		// An experiment's result is a function of the whole dataset grid,
+		// so its address must move when any registered generator is
+		// retuned — not only when a hand-bumped version string remembers to.
+		gid = registryIdentity()
 	}
 	cfg := s.Config()
 	h := sha256.New()
-	fmt.Fprintf(h, "grasp-job-v1\x00%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00%d\x00",
-		s.Kind, gid, s.App, s.Policy, s.Reorder, s.Exp, s.Scale)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00%s\x00%d\x00",
+		hashVersion, s.Kind, gid, s.App, s.Policy, s.Reorder, s.Exp, s.Scale)
 	fmt.Fprintf(h, "L1:%d/%d\x00L2:%d/%d\x00LLC:%d/%d\x00",
 		cfg.HCfg.L1.SizeBytes, cfg.HCfg.L1.Ways,
 		cfg.HCfg.L2.SizeBytes, cfg.HCfg.L2.Ways,
 		cfg.HCfg.LLC.SizeBytes, cfg.HCfg.LLC.Ways)
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return gid, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// verifyGraphIdentity re-derives the content identity of a file-backed
+// graph after execution: the hash pinned the file's bytes at submit time,
+// but the simulation read the file at run time, so an edit while the job
+// sat queued (or ran) could otherwise persist the new bytes' metrics
+// under the old bytes' address — forever, since stored outcomes never
+// expire. A mismatch fails the job; the caller resubmits and the fresh
+// spec hashes to the edited file's own address. Synthetic datasets are
+// immutable and skip the check.
+func (j *Job) verifyGraphIdentity() error {
+	if !strings.HasPrefix(j.graphID, "file:") {
+		return nil
+	}
+	gid, err := graphIdentity(j.Spec.Graph)
+	if err != nil {
+		return fmt.Errorf("jobs: re-verifying graph %q after run: %w", j.Spec.Graph, err)
+	}
+	if gid != j.graphID {
+		return fmt.Errorf("jobs: graph file %q changed while the job was queued or running; resubmit", j.Spec.Graph)
+	}
+	return nil
 }
 
 // fileDigest is one memoized content digest; size and mtime validate it
@@ -162,17 +213,39 @@ var fileDigestCache = struct {
 	m map[string]fileDigest
 }{m: make(map[string]fileDigest)}
 
+// datasetIdentity renders the content-pinning identity of one registered
+// synthetic dataset: the name plus every generator parameter (kind,
+// vertex count, degree, alpha, RMAT scale, seed). Generation is
+// deterministic, so these pin the content even if the registry is retuned
+// later.
+func datasetIdentity(ds graph.Dataset) string {
+	return fmt.Sprintf("%s;kind=%d;n=%d;deg=%g;alpha=%g;rmat=%d;seed=%d",
+		ds.Name, ds.Kind, ds.Vertices, ds.AvgDegree, ds.Alpha, ds.Scale, ds.Seed)
+}
+
+// registryIdentity is the combined identity of every registered dataset,
+// folded into experiment-job hashes (an experiment draws on the whole
+// grid, so retuning any generator must move every experiment's address).
+func registryIdentity() string {
+	var sb strings.Builder
+	sb.WriteString("registry:")
+	for _, ds := range graph.Datasets() {
+		sb.WriteString(datasetIdentity(ds))
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
 // graphIdentity returns the content-addressable identity of a graph spec:
-// "name:<name>" for registered synthetic datasets (their generation is
-// deterministic, so the name pins the content) or "file:<sha256>" for
-// file-backed graphs.
+// datasetIdentity for registered synthetic datasets, or "file:<sha256>"
+// of the file bytes for file-backed graphs.
 func graphIdentity(spec string) (string, error) {
 	ds, err := graph.Resolve(spec)
 	if err != nil {
 		return "", err
 	}
 	if ds.Kind != graph.KindFile {
-		return "name:" + ds.Name, nil
+		return "name:" + datasetIdentity(ds), nil
 	}
 	fi, err := os.Stat(ds.Path)
 	if err != nil {

@@ -23,7 +23,11 @@ type Outcome struct {
 	Single *sim.Result `json:"single,omitempty"`
 	// Output holds the rendered text body of a KindExperiment run.
 	Output string `json:"output,omitempty"`
-	// Elapsed is the simulation wall-clock in seconds (0 for cache hits).
+	// Elapsed is the wall-clock seconds of the execution that produced
+	// this outcome. Cache hits return the stored outcome unchanged, so
+	// they carry the ORIGINAL simulation's elapsed time — use the job's
+	// Cached flag (or the submit disposition), not Elapsed, to detect a
+	// hit.
 	Elapsed float64 `json:"elapsed_seconds"`
 	// Finished is when the simulation completed.
 	Finished time.Time `json:"finished"`

@@ -59,13 +59,24 @@ func New(mgr *jobs.Manager) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// maxSubmitBody caps the POST /jobs request body. Job specs are a few
+// hundred bytes (the largest field is a graph file path), so 1 MiB is
+// generous while keeping an oversized or hostile body from being
+// buffered without bound.
+const maxSubmitBody = 1 << 20
+
 // handleSubmit implements POST /jobs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, fmt.Errorf("decoding request body: %w", err))
 		return
 	}
 	j, disp, err := s.mgr.Submit(req.Spec, req.Priority)
