@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"grasp/internal/graph"
 	"grasp/internal/jobs"
 	"grasp/internal/server"
 )
@@ -43,9 +44,14 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute,
 		"how long shutdown waits for running simulations to finish")
+	graphCacheMB := flag.Int64("graph-cache-mb", 0,
+		"cap (MiB) on parsed file graphs retained by the registry AND per session; 0 = built-in defaults, negative = unlimited")
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *workers, *drainTimeout); err != nil {
+	if *graphCacheMB != 0 {
+		graph.SetFileCacheBudget(*graphCacheMB << 20)
+	}
+	if err := run(*addr, *dataDir, *workers, *drainTimeout, *graphCacheMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "graspd:", err)
 		os.Exit(1)
 	}
@@ -53,12 +59,15 @@ func main() {
 
 // run boots the store, manager and HTTP server, then blocks until a
 // termination signal starts the drain sequence.
-func run(addr, dataDir string, workers int, drainTimeout time.Duration) error {
+func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionBudget int64) error {
 	store, err := jobs.OpenStore(dataDir)
 	if err != nil {
 		return err
 	}
 	mgr := jobs.NewManager(store, workers)
+	if sessionBudget != 0 {
+		mgr.SetSessionFileBudget(sessionBudget)
+	}
 	srv := &http.Server{Addr: addr, Handler: server.New(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,16 +43,18 @@ import (
 // options carries every graspsim flag; newFlags binds them so main and
 // the usage golden test construct the identical flag set.
 type options struct {
-	exp       string
-	scale     uint
-	list      bool
-	benchJSON string
-	graphSpec string
-	app       string
-	policy    string
-	reorder   string
-	remote    string
-	priority  int
+	exp        string
+	scale      uint
+	list       bool
+	benchJSON  string
+	graphSpec  string
+	app        string
+	policy     string
+	reorder    string
+	remote     string
+	priority   int
+	cpuprofile string
+	memprofile string
 }
 
 // usageExamples is the examples section of `graspsim -h`, locked by the
@@ -74,6 +77,9 @@ const usageExamples = `Examples:
                                        served from its result store
   graspsim -remote localhost:8337 -exp fig2 -scale 64
                                        experiments work remotely too
+
+  graspsim -exp fig5 -scale 8 -cpuprofile cpu.pprof -memprofile mem.pprof
+                                       profile the engine (go tool pprof cpu.pprof)
 `
 
 // newFlags builds the graspsim flag set. Factored out of main so the
@@ -95,6 +101,10 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.StringVar(&o.remote, "remote", "",
 		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
 	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "",
+		"write a CPU profile of the run to this `file` (inspect with go tool pprof)")
+	fs.StringVar(&o.memprofile, "memprofile", "",
+		"write an end-of-run heap profile to this `file` (inspect with go tool pprof)")
 	fs.Usage = func() {
 		w := fs.Output()
 		fmt.Fprintf(w, "Usage: graspsim [flags]\n\nFlags:\n")
@@ -123,15 +133,67 @@ type benchRecord struct {
 func main() {
 	fs, o := newFlags()
 	fs.Parse(os.Args[1:])
+	// The profiling flags need every exit path to flush their files, so
+	// the body runs in its own frame (os.Exit skips defers).
+	os.Exit(realMain(o))
+}
 
+// startProfiles honors -cpuprofile/-memprofile; the returned stop function
+// (never nil) flushes both and must run before the process exits.
+func startProfiles(o *options) (stop func(), err error) {
+	stop = func() {}
+	var cpuFile *os.File
+	if o.cpuprofile != "" {
+		cpuFile, err = os.Create(o.cpuprofile)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return stop, err
+		}
+	}
+	stop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "graspsim: CPU profile written to %s\n", o.cpuprofile)
+		}
+		if o.memprofile != "" {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "graspsim:", err)
+				return
+			}
+			runtime.GC() // materialize the end-of-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "graspsim:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "graspsim: heap profile written to %s\n", o.memprofile)
+		}
+	}
+	return stop, nil
+}
+
+// realMain is the flag-parsed body of the command; its return value is the
+// process exit code.
+func realMain(o *options) int {
 	// -list is always local and instant; honoring it before -remote keeps
 	// `graspsim -remote host -list` from submitting every experiment.
 	if o.list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
+
+	stopProfiles, err := startProfiles(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graspsim:", err)
+		return 1
+	}
+	defer stopProfiles()
 
 	if o.remote != "" {
 		// -bench-json records the LOCAL engine's phase split; a remote
@@ -140,21 +202,21 @@ func main() {
 		// refusing.
 		if o.benchJSON != "" {
 			fmt.Fprintln(os.Stderr, "graspsim: -bench-json is not supported with -remote (benchmarks measure the local engine)")
-			os.Exit(1)
+			return 1
 		}
 		if err := runRemote(o, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if o.graphSpec != "" {
 		if err := runSingle(o.graphSpec, o.app, o.policy, o.reorder, uint32(o.scale)); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	cfg := exp.DefaultConfig()
@@ -168,7 +230,7 @@ func main() {
 	exps, err := selectExperiments(o.exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graspsim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	record := benchRecord{
@@ -193,7 +255,7 @@ func main() {
 	}
 	if err := exp.RunAll(session, exps, os.Stdout, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "graspsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	record.TotalSeconds = time.Since(start).Seconds()
 
@@ -205,14 +267,15 @@ func main() {
 		data, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "graspsim: wall-clock record written to %s\n", path)
 	}
+	return 0
 }
 
 // selectExperiments resolves the -exp flag value to experiment structs.

@@ -93,7 +93,13 @@ type Cache struct {
 	setMask    uint64
 	tags       []uint64 // sets*ways, block addresses; invalidTag = empty way
 	dirty      []bool
-	policy     Policy
+	// filled counts valid ways per set: once a set is full it can never
+	// drain (evictions immediately refill, bypasses skip allocation), so
+	// the miss path skips the invalid-way scan entirely. With the small
+	// simulated geometries, warmup ends after a few hundred accesses and
+	// every subsequent miss would otherwise scan all ways twice.
+	filled []uint16
+	policy Policy
 	// observer is the policy's AccessObserver side, resolved once at
 	// construction so Access does not repeat the type assertion per access.
 	observer   AccessObserver
@@ -131,6 +137,7 @@ func New(cfg Config, p Policy) (*Cache, error) {
 		sets: sets, ways: cfg.Ways, setMask: uint64(sets - 1),
 		tags:     tags,
 		dirty:    make([]bool, sets*cfg.Ways),
+		filled:   make([]uint16, sets),
 		policy:   p,
 		observer: obs,
 	}, nil
@@ -197,13 +204,17 @@ func (c *Cache) Access(a mem.Access) bool {
 	if a.Property {
 		c.Stats.PropMisses++
 	}
-	// Fill: prefer an invalid way.
-	for w, t := range tags {
-		if t == invalidTag {
-			tags[w] = block
-			c.dirty[base+uint32(w)] = a.Write
-			c.policy.OnFill(set, uint32(w), a)
-			return false
+	// Fill: prefer an invalid way (skipped once the set is full — it can
+	// never drain, so the scan could not find one).
+	if c.filled[set] < uint16(c.ways) {
+		for w, t := range tags {
+			if t == invalidTag {
+				tags[w] = block
+				c.filled[set]++
+				c.dirty[base+uint32(w)] = a.Write
+				c.policy.OnFill(set, uint32(w), a)
+				return false
+			}
 		}
 	}
 	w, bypass := c.policy.Victim(set, a)
@@ -243,6 +254,9 @@ func (c *Cache) Flush() {
 	for i := range c.tags {
 		c.tags[i] = invalidTag
 		c.dirty[i] = false
+	}
+	for i := range c.filled {
+		c.filled[i] = 0
 	}
 	c.Stats = Stats{}
 }

@@ -54,12 +54,44 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
+// UpperLevels is the policy-independent upper half of the hierarchy: the
+// private LRU L1 and L2 filter caches in front of the LLC. It exists as
+// its own type because the LLC-bound stream it emits is a pure function of
+// the access stream — the LLC's policy and geometry never feed back into
+// it — which is what makes record-once/replay-many simulation sound: a
+// trace recorded behind one UpperLevels instance is valid for every LLC
+// configuration (DESIGN.md Sec. 11).
+type UpperLevels struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// NewUpperLevels builds the L1/L2 filter pair of a hierarchy configuration.
+func NewUpperLevels(cfg HierarchyConfig) (UpperLevels, error) {
+	l1, err := New(cfg.L1, NewLRU(cfg.L1.Sets(), cfg.L1.Ways))
+	if err != nil {
+		return UpperLevels{}, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := New(cfg.L2, NewLRU(cfg.L2.Sets(), cfg.L2.Ways))
+	if err != nil {
+		return UpperLevels{}, fmt.Errorf("L2: %w", err)
+	}
+	return UpperLevels{L1: l1, L2: l2}, nil
+}
+
+// Filter performs the access against the L1 and (on miss) the L2,
+// reporting whether it was absorbed. A false return means the access is
+// LLC-bound. Each level allocates on miss (inclusive fill is modeled
+// implicitly).
+func (u UpperLevels) Filter(a mem.Access) bool {
+	return u.L1.Access(a) || u.L2.Access(a)
+}
+
 // Hierarchy is the simulated L1 -> L2 -> LLC cache hierarchy. It is a
 // mem.Sink: applications emit their access stream directly into it.
 type Hierarchy struct {
 	cfg HierarchyConfig
-	L1  *Cache
-	L2  *Cache
+	UpperLevels
 	LLC *Cache
 }
 
@@ -67,30 +99,23 @@ type Hierarchy struct {
 // policy. The classifier (may be nil) is installed at the LLC, matching the
 // paper's placement of GRASP's classification logic (Fig. 4).
 func NewHierarchy(cfg HierarchyConfig, llcPolicy Policy, cl Classifier) (*Hierarchy, error) {
-	l1, err := New(cfg.L1, NewLRU(cfg.L1.Sets(), cfg.L1.Ways))
+	upper, err := NewUpperLevels(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("L1: %w", err)
-	}
-	l2, err := New(cfg.L2, NewLRU(cfg.L2.Sets(), cfg.L2.Ways))
-	if err != nil {
-		return nil, fmt.Errorf("L2: %w", err)
+		return nil, err
 	}
 	llc, err := New(cfg.LLC, llcPolicy)
 	if err != nil {
 		return nil, fmt.Errorf("LLC: %w", err)
 	}
 	llc.SetClassifier(cl)
-	return &Hierarchy{cfg: cfg, L1: l1, L2: l2, LLC: llc}, nil
+	return &Hierarchy{cfg: cfg, UpperLevels: upper, LLC: llc}, nil
 }
 
 // Access implements mem.Sink: the access walks down the hierarchy until it
 // hits. Inclusive fill on the way back is modeled implicitly (each level
 // allocates on miss).
 func (h *Hierarchy) Access(a mem.Access) {
-	if h.L1.Access(a) {
-		return
-	}
-	if h.L2.Access(a) {
+	if h.Filter(a) {
 		return
 	}
 	h.LLC.Access(a)
@@ -105,15 +130,20 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // to model out-of-order overlap. The absolute number is not meaningful —
 // only ratios between schemes are reported (speed-ups), as in the paper.
 func (h *Hierarchy) MemoryCycles() float64 {
-	l1miss := h.L1.Stats.Misses
-	l2miss := h.L2.Stats.Misses
-	llcmiss := h.LLC.Stats.Misses
-	stall := float64(l1miss)*float64(h.cfg.L2Latency) +
-		float64(l2miss)*float64(h.cfg.LLCLatency) +
-		float64(llcmiss)*float64(h.cfg.MemLatency)
-	mlp := h.cfg.MLP
+	return MemoryCyclesOf(h.cfg, h.L1.Stats, h.L2.Stats, h.LLC.Stats)
+}
+
+// MemoryCyclesOf evaluates the memory-time model over per-level hit/miss
+// counts gathered elsewhere — the replay path combines a recording's L1/L2
+// stats with a freshly replayed LLC's and must price them identically to a
+// live Hierarchy.
+func MemoryCyclesOf(cfg HierarchyConfig, l1, l2, llc Stats) float64 {
+	stall := float64(l1.Misses)*float64(cfg.L2Latency) +
+		float64(l2.Misses)*float64(cfg.LLCLatency) +
+		float64(llc.Misses)*float64(cfg.MemLatency)
+	mlp := cfg.MLP
 	if mlp <= 0 {
 		mlp = 1
 	}
-	return float64(h.L1.Stats.Accesses())*float64(h.cfg.L1Latency) + stall/mlp
+	return float64(l1.Accesses())*float64(cfg.L1Latency) + stall/mlp
 }

@@ -21,13 +21,13 @@ type optDatapoint struct {
 	lru, rrip, grasp, opt uint64
 }
 
-// runOPTStudy collects the LLC trace of every (app, high-skew dataset)
-// pair under DBG reordering and replays it under LRU, RRIP and GRASP plus
-// Belady's OPT at the given LLC size. The per-pair work (trace collection
-// via the session's singleflight cache, then four independent replays) fans
-// out over the worker pool; results land in a keyed map, so the consuming
-// experiments iterate them in deterministic order regardless of completion
-// order.
+// runOPTStudy obtains the shared LLC recording of every (app, high-skew
+// dataset) pair under DBG reordering and replays its bounded prefix under
+// LRU, RRIP and GRASP plus Belady's OPT at the given LLC size. The
+// per-pair work (recording via the session's singleflight cache, then four
+// independent replays straight off the encoded trace) fans out over the
+// worker pool; results land in a keyed map, so the consuming experiments
+// iterate them in deterministic order regardless of completion order.
 func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, error) {
 	rripInfo, _ := sim.PolicyByName("RRIP")
 	graspInfo, _ := sim.PolicyByName("GRASP")
@@ -43,7 +43,7 @@ func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, e
 	errs := make([]error, len(pairs))
 	forEachParallel(len(pairs), func(i int) {
 		app, ds := pairs[i].app, pairs[i].ds
-		trace, bounds, err := s.LLCTrace(ds, app)
+		rec, err := s.optRecording(groupKey{ds: ds, reorder: "DBG", app: app, layout: apps.LayoutMerged})
 		if err != nil {
 			errs[i] = err
 			return
@@ -56,18 +56,19 @@ func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, e
 		}{
 			{&dp.lru, lruInfo, nil},
 			{&dp.rrip, rripInfo, nil},
-			{&dp.grasp, graspInfo, bounds},
+			{&dp.grasp, graspInfo, rec.bounds},
 		} {
-			st, err := sim.ReplayTrace(trace, llcCfg, rp.pinfo, rp.abrs)
+			st, err := sim.ReplayStats(rec.tr, llcCfg, rp.pinfo, rp.abrs, optTraceCap)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			*rp.misses = st.Misses
 		}
-		blocks := make([]uint64, len(trace))
-		for j, a := range trace {
-			blocks[j] = cache.BlockAddr(a)
+		blocks, err := rec.tr.Blocks(optTraceCap)
+		if err != nil {
+			errs[i] = err
+			return
 		}
 		dp.opt = policy.SimulateOPT(blocks, llcCfg.Sets(), llcCfg.Ways).Misses
 		dps[i] = dp

@@ -84,6 +84,16 @@ func (g *CSR) InNeighborWeights(v VertexID) []int32 {
 	return g.InWeights[g.InIndex[v]:g.InIndex[v+1]]
 }
 
+// Footprint returns the approximate resident bytes of the CSR's arrays —
+// the quantity the byte-budget caches (graph registry, exp.Session) charge
+// per retained graph.
+func (g *CSR) Footprint() int64 {
+	n := 8 * (int64(len(g.OutIndex)) + int64(len(g.InIndex)))
+	n += 4 * (int64(len(g.OutEdges)) + int64(len(g.InEdges)))
+	n += 4 * (int64(len(g.OutWeights)) + int64(len(g.InWeights)))
+	return n
+}
+
 // AvgDegree returns the average (out-)degree.
 func (g *CSR) AvgDegree() float64 {
 	if g.n == 0 {

@@ -75,13 +75,17 @@ func (d Dataset) Load(weighted bool, scaleDiv uint32) (*CSR, error) {
 // in parallel while concurrent loads of the same file share one parse.
 // size/modNano are the source file's stat stamp captured when the entry
 // was created; loadFileCached compares them against the current stat and
-// replaces the entry on mismatch.
+// replaces the entry on mismatch. bytes/seq feed the LRU byte budget:
+// the parse's footprint (charged once the load completes) and the entry's
+// last-use tick.
 type fileEntry struct {
 	once    sync.Once
 	g       *CSR
 	err     error
 	size    int64
 	modNano int64
+	bytes   int64
+	seq     uint64
 }
 
 // fileCache is the process-wide memo of parsed file graphs, keyed by
@@ -91,14 +95,35 @@ type fileEntry struct {
 // and the wrong outcome persisted under the new hash. Stored graphs are
 // immutable (Load's weight adjustments build new CSR headers; CSRs are
 // never mutated after construction), so concurrent Sessions can share
-// them. Eviction is per path generation only: DISTINCT paths accumulate
-// for the process lifetime, so a daemon's resident memory scales with the
-// number of different graph files ever submitted (an operational bound
-// documented in DESIGN.md Sec. 10, not enforced here).
+// them.
+//
+// The memo is bounded: besides the per-path generation eviction (an
+// edited file replaces its own entry), a byte budget with LRU eviction
+// caps the total parsed bytes across DISTINCT paths, so a daemon fed
+// arbitrary graph files cannot grow without bound (DESIGN.md Sec. 10).
+// Evicted graphs stay alive for callers already holding them (they are
+// plain GC-managed values); the memo just re-ingests on the next request.
 var fileCache = struct {
 	sync.Mutex
-	m map[string]*fileEntry
-}{m: make(map[string]*fileEntry)}
+	m      map[string]*fileEntry
+	budget int64
+	total  int64
+	seq    uint64
+}{m: make(map[string]*fileEntry), budget: DefaultFileCacheBudget}
+
+// DefaultFileCacheBudget is the registry memo's initial parsed-bytes cap
+// (4 GiB).
+const DefaultFileCacheBudget = int64(4) << 30
+
+// SetFileCacheBudget replaces the registry memo's parsed-bytes cap and
+// applies it immediately (evicting least-recently-used entries if the new
+// budget is already exceeded); n <= 0 disables the cap.
+func SetFileCacheBudget(n int64) {
+	fileCache.Lock()
+	fileCache.budget = n
+	evictFilesLocked("")
+	fileCache.Unlock()
+}
 
 // CachedFiles returns the number of distinct graph files the process-wide
 // registry memo currently holds (successful or failed parses alike). It
@@ -109,6 +134,36 @@ func CachedFiles() int {
 	fileCache.Lock()
 	defer fileCache.Unlock()
 	return len(fileCache.m)
+}
+
+// CachedFileBytes returns the parsed-graph bytes the memo currently
+// retains (observability and tests).
+func CachedFileBytes() int64 {
+	fileCache.Lock()
+	defer fileCache.Unlock()
+	return fileCache.total
+}
+
+// evictFilesLocked drops least-recently-used entries (never the one under
+// keep) until the accounted total fits the budget. Caller holds
+// fileCache's lock.
+func evictFilesLocked(keep string) {
+	if fileCache.budget <= 0 {
+		return
+	}
+	for fileCache.total > fileCache.budget {
+		oldest, oldestSeq := "", uint64(0)
+		for k, e := range fileCache.m {
+			if k != keep && (oldest == "" || e.seq < oldestSeq) {
+				oldest, oldestSeq = k, e.seq
+			}
+		}
+		if oldest == "" {
+			return
+		}
+		fileCache.total -= fileCache.m[oldest].bytes
+		delete(fileCache.m, oldest)
+	}
 }
 
 // loadFileCached loads a graph file through two cache layers: the
@@ -129,16 +184,45 @@ func loadFileCached(path string) (*CSR, error) {
 	fileCache.Lock()
 	e, ok := fileCache.m[key]
 	if !ok || e.size != size || e.modNano != modNano {
+		if ok {
+			fileCache.total -= e.bytes // superseded generation
+		}
 		e = &fileEntry{size: size, modNano: modNano}
 		fileCache.m[key] = e
 	}
+	fileCache.seq++
+	e.seq = fileCache.seq
 	fileCache.Unlock()
 	// The entry's validation stamp and the load derive from the same stat,
 	// so the memo can never mark one file state fresh while the sidecar
 	// machinery recorded another.
-	e.once.Do(func() { e.g, e.err = loadFile(path, fi) })
+	e.once.Do(func() {
+		e.g, e.err = loadFile(path, fi)
+		// Charge the footprint and evict LRU peers over budget. Failed
+		// parses are charged a nominal floor so a daemon fed millions of
+		// distinct malformed paths still converges to the budget instead
+		// of accumulating zero-cost error entries forever. The entry may
+		// itself have been evicted (or superseded) while parsing; only
+		// the instance still registered under the key is accounted.
+		bytes := int64(errEntryBytes)
+		if e.g != nil {
+			bytes = e.g.Footprint()
+		}
+		fileCache.Lock()
+		if fileCache.m[key] == e {
+			e.bytes = bytes
+			fileCache.total += e.bytes
+			evictFilesLocked(key)
+		}
+		fileCache.Unlock()
+	})
 	return e.g, e.err
 }
+
+// errEntryBytes is the nominal accounting charge for a memo entry whose
+// parse failed: far above its true footprint, so the byte budget also
+// bounds how many distinct failing paths the memo retains.
+const errEntryBytes = 64 << 10
 
 // loadFile ingests one graph file; srci is the source's stat the caller
 // validated against (unused for direct .gcsr files).

@@ -157,12 +157,13 @@ type Manager struct {
 	q  *queue
 	wg sync.WaitGroup
 
-	mu       sync.Mutex
-	sessions map[uint32]*exp.Session // one simulation session per scale divisor
-	byID     map[string]*Job
-	byHash   map[string]*Job // in-flight (queued/running) jobs only
-	retired  []string        // terminal job IDs, oldest first, for bounded retention
-	draining bool
+	mu            sync.Mutex
+	sessions      map[uint32]*exp.Session // one simulation session per scale divisor
+	sessionBudget int64                   // FileBytesBudget for future sessions; 0 = exp default
+	byID          map[string]*Job
+	byHash        map[string]*Job // in-flight (queued/running) jobs only
+	retired       []string        // terminal job IDs, oldest first, for bounded retention
+	draining      bool
 
 	idSeq     atomic.Uint64
 	running   atomic.Int64
@@ -269,9 +270,23 @@ func (m *Manager) nextID() string {
 	return fmt.Sprintf("j%06d", m.idSeq.Add(1))
 }
 
+// SetSessionFileBudget overrides the per-session retained-bytes cap for
+// file-backed graphs (exp.Config.FileBytesBudget) applied to sessions
+// created afterwards; n = 0 keeps the exp default, negative disables the
+// cap. Set it before serving traffic — existing sessions keep the budget
+// they were created with. The cap does not enter job hashes (it changes
+// memory management, never simulated results).
+func (m *Manager) SetSessionFileBudget(n int64) {
+	m.mu.Lock()
+	m.sessionBudget = n
+	m.mu.Unlock()
+}
+
 // sessionFor returns the simulation session for one scale divisor,
 // creating it on first use. Sessions persist for the manager's lifetime,
-// so every job at a given scale shares workloads, results and traces.
+// so every job at a given scale shares workloads, results and traces;
+// what file-backed graphs pin is bounded per session by the file-bytes
+// budget (see SetSessionFileBudget).
 func (m *Manager) sessionFor(scale uint32) *exp.Session {
 	if scale == 0 {
 		scale = 1
@@ -280,7 +295,9 @@ func (m *Manager) sessionFor(scale uint32) *exp.Session {
 	defer m.mu.Unlock()
 	s, ok := m.sessions[scale]
 	if !ok {
-		s = exp.NewSession(configForScale(scale))
+		cfg := configForScale(scale)
+		cfg.FileBytesBudget = m.sessionBudget
+		s = exp.NewSession(cfg)
 		m.sessions[scale] = s
 	}
 	return s

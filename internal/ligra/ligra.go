@@ -15,31 +15,37 @@ import (
 	"grasp/internal/cache"
 	"grasp/internal/graph"
 	"grasp/internal/mem"
+	"grasp/internal/trace"
 )
 
 // Tracer forwards logical memory accesses to a sink. The zero Tracer (nil
 // sink) swallows accesses with minimal overhead, which is how algorithms
 // run natively.
 //
-// The dominant sink in simulation is *cache.Hierarchy, so the tracer keeps
-// a concrete pointer to it when possible: every traced memory word then
-// reaches the hierarchy through a direct call instead of an interface
-// dispatch. The method bodies are shaped around the compiler's inlining
-// budget — Read/Write inline a cheap is-anyone-listening guard into the
-// traversal loops (so native execution pays one predicted branch per
-// logical access), while the dispatch itself is one call deep on every
+// The dominant sinks in simulation are *cache.Hierarchy (direct runs) and
+// *trace.Recorder (the once-per-workload recording of the replay engine),
+// so the tracer keeps a concrete pointer to whichever it is handed: every
+// traced memory word then reaches it through a direct call instead of an
+// interface dispatch. The method bodies are shaped around the compiler's
+// inlining budget — Read/Write inline a cheap is-anyone-listening guard
+// into the traversal loops (so native execution pays one predicted branch
+// per logical access), while the dispatch itself is one call deep on every
 // sink kind.
 type Tracer struct {
 	sink   mem.Sink
 	h      *cache.Hierarchy // non-nil fast path when sink is a hierarchy
-	active bool             // h != nil || sink != nil
+	rec    *trace.Recorder  // non-nil fast path when sink is a trace recorder
+	active bool             // h != nil || rec != nil || sink != nil
 }
 
 // NewTracer creates a tracer; sink may be nil for native execution.
 func NewTracer(sink mem.Sink) *Tracer {
 	t := &Tracer{sink: sink, active: sink != nil}
-	if h, ok := sink.(*cache.Hierarchy); ok {
-		t.h = h
+	switch s := sink.(type) {
+	case *cache.Hierarchy:
+		t.h = s
+	case *trace.Recorder:
+		t.rec = s
 	}
 	return t
 }
@@ -49,6 +55,10 @@ func NewTracer(sink mem.Sink) *Tracer {
 func (t *Tracer) dispatch(addr uint64, pc uint32, write, prop bool) {
 	if t.h != nil {
 		t.h.Access(mem.Access{Addr: addr, PC: pc, Write: write, Property: prop})
+		return
+	}
+	if t.rec != nil {
+		t.rec.Access(mem.Access{Addr: addr, PC: pc, Write: write, Property: prop})
 		return
 	}
 	t.sink.Access(mem.Access{Addr: addr, PC: pc, Write: write, Property: prop})
@@ -68,6 +78,8 @@ func (t *Tracer) Read(a *mem.Array, i uint64, pc uint32) {
 func (t *Tracer) ReadOff(a *mem.Array, i, off uint64, pc uint32) {
 	if t.h != nil {
 		t.h.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Property: a.Property})
+	} else if t.rec != nil {
+		t.rec.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Property: a.Property})
 	} else if t.sink != nil {
 		t.sink.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Property: a.Property})
 	}
@@ -85,6 +97,8 @@ func (t *Tracer) Write(a *mem.Array, i uint64, pc uint32) {
 func (t *Tracer) WriteOff(a *mem.Array, i, off uint64, pc uint32) {
 	if t.h != nil {
 		t.h.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Write: true, Property: a.Property})
+	} else if t.rec != nil {
+		t.rec.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Write: true, Property: a.Property})
 	} else if t.sink != nil {
 		t.sink.Access(mem.Access{Addr: a.AddrOff(i, off), PC: pc, Write: true, Property: a.Property})
 	}

@@ -22,9 +22,19 @@ import (
 // replacement scheme under variable reuse — exactly the property the paper
 // credits for Leeway avoiding large slowdowns on graph analytics.
 type Leeway struct {
-	stamps []uint64
-	ways   uint32
-	clock  uint64
+	// rank holds each block's recency-stack position (0 = MRU),
+	// maintained incrementally: promoting a block to MRU shifts every
+	// more-recent block down one. This replaces a timestamp array whose
+	// rank queries cost an O(ways) scan each — Victim needed one per way,
+	// making every miss O(ways²) in the simulator's hottest loop.
+	// Untouched ways carry garbage ranks (never read: ranks are only
+	// queried for resident blocks); touchedCnt seeds a first fill's
+	// starting rank, since every already-resident block is by definition
+	// more recent than a block that was never filled.
+	rank       []uint8
+	touched    []bool
+	touchedCnt []uint8 // per set
+	ways       uint32
 
 	ld        []uint8 // predicted live distance per block
 	maxHitPos []uint8 // deepest stack position hit so far (0xff = no hit)
@@ -64,14 +74,16 @@ const (
 func NewLeeway(sets, ways uint32) *Leeway {
 	n := sets * ways
 	l := &Leeway{
-		stamps:    make([]uint64, n),
-		ways:      ways,
-		ld:        make([]uint8, n),
-		maxHitPos: make([]uint8, n),
-		pc:        make([]uint32, n),
-		table:     make(map[uint32]*ldEntry),
-		psel:      leewayPselInit,
-		base:      NewDRRIP(sets, ways),
+		rank:       make([]uint8, n),
+		touched:    make([]bool, n),
+		touchedCnt: make([]uint8, sets),
+		ways:       ways,
+		ld:         make([]uint8, n),
+		maxHitPos:  make([]uint8, n),
+		pc:         make([]uint32, n),
+		table:      make(map[uint32]*ldEntry),
+		psel:       leewayPselInit,
+		base:       NewDRRIP(sets, ways),
 	}
 	for i := range l.maxHitPos {
 		l.maxHitPos[i] = noHit
@@ -84,17 +96,31 @@ var _ cache.Policy = (*Leeway)(nil)
 // Name implements cache.Policy.
 func (p *Leeway) Name() string { return "Leeway" }
 
-// stackPos computes the recency rank of way within its set (0 = MRU).
+// stackPos returns the recency rank of a resident block (0 = MRU).
 func (p *Leeway) stackPos(set, way uint32) uint8 {
+	return p.rank[set*p.ways+way]
+}
+
+// promote moves way to MRU: blocks above its old position shift down one.
+// A first-time fill starts below every already-resident block.
+func (p *Leeway) promote(set, way uint32) {
 	base := set * p.ways
-	mine := p.stamps[base+way]
-	var rank uint8
-	for w := uint32(0); w < p.ways; w++ {
-		if w != way && p.stamps[base+w] > mine {
-			rank++
+	i := base + way
+	var old uint8
+	if p.touched[i] {
+		old = p.rank[i]
+	} else {
+		p.touched[i] = true
+		old = p.touchedCnt[set]
+		p.touchedCnt[set]++
+	}
+	r := p.rank[base : base+p.ways : base+p.ways]
+	for w := range r {
+		if r[w] < old {
+			r[w]++
 		}
 	}
-	return rank
+	r[way] = 0
 }
 
 // OnHit implements cache.Policy: record the live distance sample, promote,
@@ -104,7 +130,7 @@ func (p *Leeway) stackPos(set, way uint32) uint8 {
 // its blocks evicted before they can demonstrate deeper reuse.
 func (p *Leeway) OnHit(set, way uint32, _ mem.Access) {
 	i := set*p.ways + way
-	pos := p.stackPos(set, way)
+	pos := p.stackPos(set, way) // position at hit time, before promotion
 	if p.maxHitPos[i] == noHit || pos > p.maxHitPos[i] {
 		p.maxHitPos[i] = pos
 	}
@@ -116,16 +142,14 @@ func (p *Leeway) OnHit(set, way uint32, _ mem.Access) {
 	if pos > p.ld[i] {
 		p.ld[i] = pos
 	}
-	p.clock++
-	p.stamps[i] = p.clock
+	p.promote(set, way)
 	p.base.OnHit(set, way, mem.Access{})
 }
 
 // OnFill implements cache.Policy: look up the predicted live distance.
 func (p *Leeway) OnFill(set, way uint32, a mem.Access) {
 	i := set*p.ways + way
-	p.clock++
-	p.stamps[i] = p.clock
+	p.promote(set, way)
 	p.maxHitPos[i] = noHit
 	p.pc[i] = a.PC
 	if e, ok := p.table[a.PC]; ok {
@@ -148,17 +172,15 @@ func (p *Leeway) leader(set uint32) int {
 
 // Victim implements cache.Policy: prefer the dead block deepest in the
 // stack; if no block is predicted dead, fall back to the base scheme.
+// Victim is only invoked on full sets, so every way's rank is live.
 func (p *Leeway) Victim(set uint32, a mem.Access) (uint32, bool) {
 	base := set * p.ways
+	ranks := p.rank[base : base+p.ways : base+p.ways]
 	bestDead, bestDeadPos := int32(-1), uint8(0)
-	for w := uint32(0); w < p.ways; w++ {
-		i := base + w
-		pos := p.stackPos(set, w)
-		if pos > p.ld[i] && pos >= bestDeadPos {
+	for w, pos := range ranks {
+		if pos > p.ld[base+uint32(w)] && pos >= bestDeadPos {
 			// Dead: deeper than its live distance.
-			if int32(w) != bestDead {
-				bestDead, bestDeadPos = int32(w), pos
-			}
+			bestDead, bestDeadPos = int32(w), pos
 		}
 	}
 	if bestDead >= 0 {

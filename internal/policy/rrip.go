@@ -53,19 +53,28 @@ func (m *RRIPMeta) Set(set, way uint32, v uint8) { m.rrpv[set*m.ways+way] = v }
 // Victim implements the SRRIP victim search: find the first way with
 // RRPV==max, aging the whole set (incrementing every RRPV) until one
 // appears. Ways are scanned in index order, matching the CRC reference
-// implementation.
+// implementation. Rather than rescanning per aging round, one pass finds
+// the first way holding the set's maximum RRPV — the way the iterated
+// search would reach distant first — and one conditional pass applies the
+// aggregate aging delta; the resulting RRPV state and victim choice are
+// identical to the literal loop's.
 func (m *RRIPMeta) Victim(set uint32) uint32 {
 	base := set * m.ways
-	for {
-		for w := uint32(0); w < m.ways; w++ {
-			if m.rrpv[base+w] == RRPVMax {
-				return w
-			}
-		}
-		for w := uint32(0); w < m.ways; w++ {
-			m.rrpv[base+w]++
+	r := m.rrpv[base : base+m.ways : base+m.ways]
+	best := uint32(0)
+	maxv := r[0]
+	for w := 1; w < len(r); w++ {
+		if r[w] > maxv {
+			maxv = r[w]
+			best = uint32(w)
 		}
 	}
+	if delta := uint8(RRPVMax) - maxv; delta > 0 {
+		for w := range r {
+			r[w] += delta
+		}
+	}
+	return best
 }
 
 // SRRIP is Static RRIP [Jaleel et al., ISCA'10]: insert at "long" (max-1),

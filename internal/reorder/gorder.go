@@ -1,8 +1,6 @@
 package reorder
 
 import (
-	"container/heap"
-
 	"grasp/internal/graph"
 )
 
@@ -42,10 +40,9 @@ func Gorder(g *graph.CSR, window int) Permutation {
 	// popped (priority at pop time must match the current score).
 	score := make([]int32, n)
 	placed := make([]bool, n)
-	pq := &gorderPQ{}
-	heap.Init(pq)
+	pq := make(gorderPQ, 0, 2*n)
 	for v := uint32(0); v < n; v++ {
-		heap.Push(pq, gorderItem{v: v, score: 0})
+		pq.push(gorderItem{v: v, score: 0})
 	}
 
 	// updateFor adjusts scores of all unplaced vertices whose score is
@@ -57,7 +54,7 @@ func Gorder(g *graph.CSR, window int) Permutation {
 			if !placed[v] {
 				score[v] += delta
 				if delta > 0 {
-					heap.Push(pq, gorderItem{v: v, score: score[v]})
+					pq.push(gorderItem{v: v, score: score[v]})
 				}
 			}
 		}
@@ -70,7 +67,7 @@ func Gorder(g *graph.CSR, window int) Permutation {
 				if !placed[v] {
 					score[v] += delta
 					if delta > 0 {
-						heap.Push(pq, gorderItem{v: v, score: score[v]})
+						pq.push(gorderItem{v: v, score: score[v]})
 					}
 				}
 			}
@@ -83,16 +80,16 @@ func Gorder(g *graph.CSR, window int) Permutation {
 		// Pop the best current candidate, skipping stale heap entries.
 		var u graph.VertexID
 		for {
-			if pq.Len() == 0 {
+			if len(pq) == 0 {
 				// All remaining entries were stale (scores decayed);
 				// reseed with any unplaced vertices.
 				for v := uint32(0); v < n; v++ {
 					if !placed[v] {
-						heap.Push(pq, gorderItem{v: v, score: score[v]})
+						pq.push(gorderItem{v: v, score: score[v]})
 					}
 				}
 			}
-			it := heap.Pop(pq).(gorderItem)
+			it := pq.pop()
 			if placed[it.v] || it.score != score[it.v] {
 				continue
 			}
@@ -139,16 +136,68 @@ type gorderItem struct {
 	score int32
 }
 
+// gorderPQ is a monomorphic max-heap over gorderItem. It reproduces
+// container/heap's sift algorithms verbatim (same comparison and swap
+// sequence), so heap-array evolution — and therefore the pop order among
+// equal scores, which Gorder's output depends on — is bit-identical to
+// the previous container/heap-based implementation. Going monomorphic
+// removes the interface dispatch on every comparison and the interface{}
+// boxing allocation on every push, which together dominated Gorder's
+// wall-clock (the "staggering reordering cost" of Fig. 10a is the
+// algorithm's work, not the container's overhead).
 type gorderPQ []gorderItem
 
-func (q gorderPQ) Len() int            { return len(q) }
-func (q gorderPQ) Less(i, j int) bool  { return q[i].score > q[j].score }
-func (q gorderPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *gorderPQ) Push(x interface{}) { *q = append(*q, x.(gorderItem)) }
-func (q *gorderPQ) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// push appends the item and sifts it up. The sift holds the new item in a
+// register and shifts parents down (one write per level instead of a
+// swap); the resulting array is identical to container/heap's swap-based
+// up().
+func (q *gorderPQ) push(it gorderItem) {
+	h := append(*q, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].score >= it.score {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = it
+	*q = h
+}
+
+// pop removes and returns the max item, reproducing container/heap.Pop's
+// state evolution (swap root with the last element, sift the new root
+// down over the shrunk heap, detach) with the moving element held in a
+// register: the same comparisons decide the same path, each visited slot
+// receives its larger child, and the mover lands where the swap chain
+// would have left it — the live heap prefix is bit-identical, only the
+// dead slot beyond the new length (overwritten by the next push) differs.
+func (q *gorderPQ) pop() gorderItem {
+	h := *q
+	last := len(h) - 1
+	top := h[0]
+	mover := h[last]
+	live := h[:last] // reslice so the sift's indexing is provably in-bounds
+	i := 0
+	for {
+		left := 2*i + 1
+		if uint(left) >= uint(last) { // also catches int overflow
+			break
+		}
+		j := left
+		if right := left + 1; right < last && live[right].score > live[left].score {
+			j = right
+		}
+		if live[j].score <= mover.score {
+			break
+		}
+		live[i] = live[j]
+		i = j
+	}
+	if last > 0 {
+		live[i] = mover
+	}
+	*q = live
+	return top
 }

@@ -15,9 +15,9 @@ import (
 	"grasp/internal/core"
 	"grasp/internal/graph"
 	"grasp/internal/ligra"
-	"grasp/internal/mem"
 	"grasp/internal/policy"
 	"grasp/internal/reorder"
+	"grasp/internal/trace"
 )
 
 // PolicyInfo describes an LLC policy available to experiments, including
@@ -95,6 +95,15 @@ func PrepareWorkload(ds graph.Dataset, reorderName string, weighted bool, scaleD
 	if err != nil {
 		return nil, err
 	}
+	return PrepareWorkloadOn(g, ds, reorderName, weighted)
+}
+
+// PrepareWorkloadOn applies the named reordering to an already-loaded
+// graph, producing the workload. The base graph is never mutated
+// (reorderings build relabeled copies), so callers holding one loaded
+// instance — the experiment session shares a base graph across every
+// reordering technique — can prepare many workloads from it.
+func PrepareWorkloadOn(g *graph.CSR, ds graph.Dataset, reorderName string, weighted bool) (*Workload, error) {
 	tech, err := reorder.ByName(reorderName)
 	if err != nil {
 		return nil, err
@@ -177,69 +186,107 @@ func Run(w *Workload, spec Spec) (Result, error) {
 	}, nil
 }
 
-// llcTraceSink filters an access stream through fresh L1/L2 levels and
-// records the LLC-bound byte addresses — the paper's "traces of LLC
-// accesses" used for the OPT study (Sec. V-D).
-type llcTraceSink struct {
-	l1, l2 *cache.Cache
-	addrs  []uint64
-	limit  int
+// RecordTrace executes the app once behind the policy-independent L1/L2
+// filter of hcfg and returns the full encoded LLC-bound access stream —
+// the record half of the record-once/replay-many engine (DESIGN.md
+// Sec. 11). The trace, combined with the filter stats it carries, is
+// sufficient to reproduce Run's Result exactly for ANY LLC policy and
+// geometry, because the upper levels never observe the LLC.
+func RecordTrace(w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig) (*trace.Trace, error) {
+	return RecordTraceN(w, appName, layout, hcfg, 0)
 }
 
-func (s *llcTraceSink) Access(a mem.Access) {
-	if s.l1.Access(a) || s.l2.Access(a) {
-		return
-	}
-	if s.limit > 0 && len(s.addrs) >= s.limit {
-		return
-	}
-	s.addrs = append(s.addrs, a.Addr)
-}
-
-// CollectLLCTrace runs the app natively once and returns the byte
-// addresses of all LLC accesses (up to limit; 0 = unlimited). The L1/L2
-// filters are policy-independent, so the trace is identical to what any
-// LLC policy would observe.
-func CollectLLCTrace(w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig, limit int) ([]uint64, error) {
+// RecordTraceN is RecordTrace with an encode cap: at most limit LLC-bound
+// accesses are stored (limit <= 0: all); the L1/L2 filter still runs over
+// the whole execution, so the stored prefix is exactly the first limit
+// accesses of an unlimited recording. Capped traces serve bounded-prefix
+// consumers like the OPT study without holding (or spilling) the full
+// stream; they must NOT back full-result replays.
+func RecordTraceN(w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig, limit int64) (*trace.Trace, error) {
 	fg := ligra.NewGraph(w.Graph)
 	app, err := apps.New(appName, fg, layout)
 	if err != nil {
 		return nil, err
 	}
-	sink := &llcTraceSink{
-		l1:    cache.MustNew(hcfg.L1, cache.NewLRU(hcfg.L1.Sets(), hcfg.L1.Ways)),
-		l2:    cache.MustNew(hcfg.L2, cache.NewLRU(hcfg.L2.Sets(), hcfg.L2.Ways)),
-		limit: limit,
+	rec, err := trace.NewRecorder(hcfg)
+	if err != nil {
+		return nil, err
 	}
-	app.Run(ligra.NewTracer(sink))
-	return sink.addrs, nil
+	rec.SetLimit(limit)
+	start := time.Now()
+	app.Run(ligra.NewTracer(rec))
+	return rec.Finish(time.Since(start))
 }
 
-// ReplayTrace runs a recorded LLC address trace through an LLC with the
-// given policy (and optional classifier), returning its stats. Used by the
-// Fig. 11 / Table VII experiments to evaluate many cache sizes per trace.
-func ReplayTrace(addrs []uint64, llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) (cache.Stats, error) {
+// newReplayLLC builds a standalone LLC of the given geometry with the
+// policy and, for hint-consuming policies, a classifier programmed from
+// recorded ABR bounds (in SetArray order, so region sizing matches the
+// recording run).
+func newReplayLLC(llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) (*cache.Cache, error) {
 	llc, err := cache.New(llcCfg, pinfo.New(llcCfg.Sets(), llcCfg.Ways))
 	if err != nil {
-		return cache.Stats{}, err
+		return nil, err
 	}
 	if pinfo.NeedsABRs {
 		abrs := core.NewABRs(llcCfg.SizeBytes)
 		for _, b := range abrArrays {
 			if err := abrs.SetBounds(b[0], b[1]); err != nil {
-				return cache.Stats{}, err
+				return nil, err
 			}
 		}
 		llc.SetClassifier(abrs)
 	}
-	for _, a := range addrs {
-		llc.Access(mem.Access{Addr: a})
+	return llc, nil
+}
+
+// ReplayResult produces the Result of one (app, layout, policy) datapoint
+// from a recorded trace instead of re-executing the application: the
+// replay half of the engine. The returned metrics are identical to what
+// Run would report for the same spec — L1/L2 stats come from the
+// recording, the LLC is simulated fresh from the decoded stream, and the
+// memory-time model prices the combination exactly as a live hierarchy
+// would. AppTime is the recording run's execution time (the trace shares
+// one execution across every policy, so per-policy app wall-clock does not
+// exist on this path).
+func ReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64) (Result, error) {
+	pinfo, err := PolicyByName(spec.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	llc, err := newReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tr.Replay(llc); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Spec:     spec,
+		Workload: workloadName,
+		L1:       tr.L1Stats(), L2: tr.L2Stats(), LLC: llc.Stats,
+		Cycles:  cache.MemoryCyclesOf(spec.HCfg, tr.L1Stats(), tr.L2Stats(), llc.Stats),
+		AppTime: tr.AppTime(),
+	}, nil
+}
+
+// ReplayStats replays at most limit accesses (limit <= 0: all) of a
+// recorded trace through an LLC of the given geometry and policy,
+// returning its stats. The Fig. 11 / Table VII experiments evaluate many
+// LLC sizes per trace this way.
+func ReplayStats(tr *trace.Trace, llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64, limit int64) (cache.Stats, error) {
+	llc, err := newReplayLLC(llcCfg, pinfo, abrArrays)
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	if err := tr.ReplayN(llc, limit); err != nil {
+		return cache.Stats{}, err
 	}
 	return llc.Stats, nil
 }
 
 // ABRBoundsFor computes the [start, end) bounds of the app's ABR arrays on
-// a fresh graph wrapper (layout-dependent), for use with ReplayTrace. The
+// a fresh graph wrapper (layout-dependent), for use with ReplayResult and
+// ReplayStats. The
 // address space layout is deterministic, so bounds from a fresh wrapper
 // match those of the run that produced the trace.
 func ABRBoundsFor(w *Workload, appName string, layout apps.Layout) ([][2]uint64, error) {

@@ -166,16 +166,17 @@ func TestSpeedupAndMissReductionMath(t *testing.T) {
 	}
 }
 
-func TestCollectAndReplayTraceConsistency(t *testing.T) {
-	// Replaying the collected LLC trace under a policy must give the same
+func TestRecordAndReplayTraceConsistency(t *testing.T) {
+	// Replaying the recorded LLC trace under a policy must give the same
 	// LLC stats as the execution-driven run with that policy.
 	w := testWorkload(t, "tw", "DBG", false)
 	hcfg := testHCfg()
-	trace, err := CollectLLCTrace(w, "PR", apps.LayoutMerged, hcfg, 0)
+	tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trace) == 0 {
+	defer tr.Release()
+	if tr.Len() == 0 {
 		t.Fatal("empty LLC trace")
 	}
 	full, err := Run(w, Spec{App: "PR", Layout: apps.LayoutMerged, Policy: "RRIP", HCfg: hcfg})
@@ -183,7 +184,7 @@ func TestCollectAndReplayTraceConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	rrip, _ := PolicyByName("RRIP")
-	replayed, err := ReplayTrace(trace, hcfg.LLC, rrip, nil)
+	replayed, err := ReplayStats(tr, hcfg.LLC, rrip, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,10 +197,11 @@ func TestCollectAndReplayTraceConsistency(t *testing.T) {
 func TestReplayWithGRASPHints(t *testing.T) {
 	w := testWorkload(t, "tw", "DBG", false)
 	hcfg := testHCfg()
-	trace, err := CollectLLCTrace(w, "PR", apps.LayoutMerged, hcfg, 0)
+	tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer tr.Release()
 	bounds, err := ABRBoundsFor(w, "PR", apps.LayoutMerged)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +210,7 @@ func TestReplayWithGRASPHints(t *testing.T) {
 		t.Fatalf("merged PR should have 1 ABR pair, got %d", len(bounds))
 	}
 	gr, _ := PolicyByName("GRASP")
-	gst, err := ReplayTrace(trace, hcfg.LLC, gr, bounds)
+	gst, err := ReplayStats(tr, hcfg.LLC, gr, bounds, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,13 +226,14 @@ func TestReplayWithGRASPHints(t *testing.T) {
 func TestOPTBeatsEveryOnlinePolicyOnRealTrace(t *testing.T) {
 	w := testWorkload(t, "lj", "DBG", false)
 	hcfg := testHCfg()
-	trace, err := CollectLLCTrace(w, "PR", apps.LayoutMerged, hcfg, 0)
+	tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	blocks := make([]uint64, len(trace))
-	for i, a := range trace {
-		blocks[i] = cache.BlockAddr(a)
+	defer tr.Release()
+	blocks, err := tr.Blocks(0)
+	if err != nil {
+		t.Fatal(err)
 	}
 	opt := policy.SimulateOPT(blocks, hcfg.LLC.Sets(), hcfg.LLC.Ways)
 	for _, pname := range []string{"LRU", "RRIP", "GRASP"} {
@@ -239,7 +242,7 @@ func TestOPTBeatsEveryOnlinePolicyOnRealTrace(t *testing.T) {
 		if pinfo.NeedsABRs {
 			bounds, _ = ABRBoundsFor(w, "PR", apps.LayoutMerged)
 		}
-		st, err := ReplayTrace(trace, hcfg.LLC, pinfo, bounds)
+		st, err := ReplayStats(tr, hcfg.LLC, pinfo, bounds, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,11 +254,16 @@ func TestOPTBeatsEveryOnlinePolicyOnRealTrace(t *testing.T) {
 
 func TestTraceLimit(t *testing.T) {
 	w := testWorkload(t, "lj", "DBG", false)
-	trace, err := CollectLLCTrace(w, "PR", apps.LayoutMerged, testHCfg(), 1000)
+	tr, err := RecordTrace(w, "PR", apps.LayoutMerged, testHCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trace) != 1000 {
-		t.Fatalf("trace length %d, want capped at 1000", len(trace))
+	defer tr.Release()
+	addrs, err := tr.Addrs(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1000 {
+		t.Fatalf("bounded decode length %d, want capped at 1000", len(addrs))
 	}
 }

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"grasp/internal/mem"
+)
+
+// FuzzCodecRoundTrip decodes arbitrary bytes into an access stream,
+// encodes it through the recorder (alternating the resident and
+// all-spilled layouts by a byte of the input) and asserts the decode
+// reproduces the stream exactly. The codec must be total: any address,
+// PC and flag combination round-trips, including delta overflows and PC
+// dictionary exhaustion.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	seed := make([]byte, 0, 13*8)
+	for i := 0; i < 8; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)<<uint(i*7))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(i)*2654435761)
+		rec[12] = byte(i)
+		seed = append(seed, rec[:]...)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const recSize = 13 // 8B addr + 4B pc + 1B flags
+		n := len(data) / recSize
+		if n > 1<<16 {
+			n = 1 << 16
+		}
+		accs := make([]mem.Access, n)
+		for i := range accs {
+			rec := data[i*recSize:]
+			accs[i] = mem.Access{
+				Addr:     binary.LittleEndian.Uint64(rec[:8]),
+				PC:       binary.LittleEndian.Uint32(rec[8:12]),
+				Write:    rec[12]&1 != 0,
+				Property: rec[12]&2 != 0,
+			}
+		}
+		r := NewRawRecorder()
+		if n > 0 && data[0]&4 != 0 {
+			r.SetMemoryOverride(-1) // exercise the spill layout too
+		}
+		for _, a := range accs {
+			r.Record(a)
+		}
+		tr, err := r.Finish(time.Duration(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Release()
+		if tr.Len() != int64(n) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		got, err := tr.Accesses(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range accs {
+			if got[i] != a {
+				t.Fatalf("access %d: got %+v, want %+v", i, got[i], a)
+			}
+		}
+	})
+}

@@ -1,0 +1,563 @@
+// Package trace is the record-once/replay-many engine of the simulator
+// (DESIGN.md Sec. 11): a Recorder runs behind the application exactly once
+// per (workload, app, layout), filters the access stream through the
+// policy-independent L1/L2 upper levels, and sinks the LLC-bound residue
+// into a compact encoded buffer; a replay then decodes that buffer
+// straight into any LLC policy + geometry without re-executing the
+// application. The paper's evaluation sweeps ~14 LLC policies and five LLC
+// sizes over the same workloads (Figs. 5-11, Tables V-VII), so the
+// recording cost is amortized over every point of a sweep.
+//
+// The encoding is lossless for everything the LLC can observe: byte
+// address (GRASP's classification boundaries are byte-granular), synthetic
+// PC, write flag and Property-Array flag. Each access is usually one
+// 64-bit word — a signed block delta against the previous access plus the
+// low six address bits, the flags, and a dictionary index for the PC —
+// with a two-word escape form for jumps or PCs the compact form cannot
+// express. Words accumulate in fixed-size chunks; a package-wide byte
+// budget bounds how much encoded trace stays resident, and chunks beyond
+// it spill to an unlinked temporary file that is read back with pread, so
+// many goroutines can replay one spilled trace concurrently.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// Word layout of a compact record (LSB first):
+//
+//	bit  0      write flag
+//	bit  1      Property-Array flag
+//	bits 2-7    low 6 bits of the byte address (sub-block offset)
+//	bits 8-19   PC dictionary index; escapeIdx marks the escape form
+//	bits 20-63  signed block delta vs the previous access (44 bits)
+//
+// The escape form carries the full 32-bit PC in bits 20-51 of the first
+// word and the full block address in a second word. It is emitted when the
+// delta overflows 44 bits or the PC dictionary is full — both impossible
+// for streams produced by ligra (few dozen static PCs, addresses within a
+// few GB), but the codec stays total for arbitrary input (the fuzz target
+// feeds it adversarial streams).
+const (
+	flagWrite = 1 << 0
+	flagProp  = 1 << 1
+
+	low6Shift = 2
+	low6Mask  = 0x3F
+
+	pcShift   = 8
+	pcMask    = 0xFFF
+	escapeIdx = 0xFFF
+	maxPCs    = escapeIdx // dictionary indices 0..0xFFE
+
+	deltaShift = 20
+	deltaBits  = 64 - deltaShift
+	deltaMax   = int64(1)<<(deltaBits-1) - 1
+	deltaMin   = -int64(1) << (deltaBits - 1)
+)
+
+// chunkWords is the fixed chunk capacity (1<<16 words = 512KB): large
+// enough that per-chunk overheads vanish, small enough that a replay's
+// spill read-back buffer and the encoder's working set stay cache- and
+// GC-friendly even for multi-hundred-million-access traces.
+const chunkWords = 1 << 16
+
+// memoryBudget caps the encoded trace bytes held in RAM across the whole
+// process; memoryInUse tracks the current total. Chunks sealed while the
+// budget is exhausted spill to disk instead.
+var (
+	memoryBudget atomic.Int64
+	memoryInUse  atomic.Int64
+)
+
+// DefaultMemoryBudget is the initial process-wide cap on resident encoded
+// trace bytes (8 GiB). A full `-exp all` sweep at bench scale keeps every
+// recording resident well under this; the cap exists so full-reproduction
+// scale (whose traces run to tens of GB) degrades to disk spill instead of
+// exhausting RAM.
+const DefaultMemoryBudget = int64(8) << 30
+
+func init() { memoryBudget.Store(DefaultMemoryBudget) }
+
+// SetMemoryBudget replaces the process-wide resident-bytes budget; n <= 0
+// forces every sealed chunk to spill. Already-resident chunks are not
+// evicted — the budget steers where future chunks land.
+func SetMemoryBudget(n int64) { memoryBudget.Store(n) }
+
+// MemoryInUse returns the encoded trace bytes currently resident in RAM
+// across all live traces (observability and tests).
+func MemoryInUse() int64 { return memoryInUse.Load() }
+
+// chunk is one segment of the encoded word stream: resident (words != nil)
+// or spilled (n words at byte offset off in the trace's spill file).
+type chunk struct {
+	words []uint64
+	off   int64
+	n     int
+}
+
+// Recorder encodes an LLC-bound access stream. Built with NewRecorder it
+// is a mem.Sink that filters every access through fresh L1/L2 upper levels
+// first — the configuration a simulation recording uses; NewRawRecorder
+// omits the filter for codec tests and fuzzing. Finish seals the stream
+// into an immutable Trace. A Recorder is single-goroutine, like the
+// application execution that feeds it.
+type Recorder struct {
+	upper  *cache.UpperLevels
+	budget int64 // per-recorder override; 0 = package budget
+	limit  int64 // encode at most this many accesses; 0 = unlimited
+
+	cur       []uint64
+	chunks    []chunk
+	lastBlock uint64
+	pcs       []uint32
+	pcIdx     map[uint32]uint16
+	lastPC    uint32
+	lastIdx   uint64
+	havePC    bool
+	n         int64
+	ramBytes  int64
+	spill     *os.File
+	spillOff  int64
+	spillBuf  []byte // reused encode buffer for spilled chunks
+	err       error
+}
+
+// NewRecorder creates a recorder whose Access method filters through L1/L2
+// levels of the given geometry before encoding, mirroring a Hierarchy's
+// upper half.
+func NewRecorder(cfg cache.HierarchyConfig) (*Recorder, error) {
+	upper, err := cache.NewUpperLevels(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRawRecorder()
+	r.upper = &upper
+	return r, nil
+}
+
+// NewRawRecorder creates a recorder with no upper-level filter: every
+// access passed to Access (or Record) is encoded.
+func NewRawRecorder() *Recorder {
+	return &Recorder{pcIdx: make(map[uint32]uint16)}
+}
+
+// SetMemoryOverride caps this recorder's resident bytes independently of
+// the package budget (tests exercise the spill path deterministically this
+// way); n < 0 means "spill everything".
+func (r *Recorder) SetMemoryOverride(n int64) {
+	if n == 0 {
+		n = -1
+	}
+	r.budget = n
+}
+
+// SetLimit caps how many accesses the recorder encodes; the rest of the
+// stream still runs the L1/L2 filter (keeping the recorded prefix exactly
+// what an unlimited recording would start with) but is not stored. A
+// capped trace is a PREFIX: sufficient for bounded-prefix consumers (the
+// OPT study), not for full-result replays. n <= 0 means unlimited.
+func (r *Recorder) SetLimit(n int64) { r.limit = n }
+
+// Access implements mem.Sink: the access runs the L1/L2 filter and, if
+// LLC-bound, is encoded. With no filter (NewRawRecorder) every access is
+// encoded.
+func (r *Recorder) Access(a mem.Access) {
+	if r.upper != nil && r.upper.Filter(a) {
+		return
+	}
+	if r.limit > 0 && r.n >= r.limit {
+		return
+	}
+	r.Record(a)
+}
+
+// Record encodes one access unconditionally.
+func (r *Recorder) Record(a mem.Access) {
+	block := cache.BlockAddr(a.Addr)
+	w := uint64(a.Addr&low6Mask) << low6Shift
+	if a.Write {
+		w |= flagWrite
+	}
+	if a.Property {
+		w |= flagProp
+	}
+	// PC dictionary with a last-PC memo: accesses arrive in runs from the
+	// same static site, so the map is rarely consulted.
+	var idx uint64
+	haveIdx := false
+	if r.havePC && a.PC == r.lastPC {
+		idx, haveIdx = r.lastIdx, true
+	} else if i, ok := r.pcIdx[a.PC]; ok {
+		idx, haveIdx = uint64(i), true
+	} else if len(r.pcs) < maxPCs {
+		idx, haveIdx = uint64(len(r.pcs)), true
+		r.pcIdx[a.PC] = uint16(idx)
+		r.pcs = append(r.pcs, a.PC)
+	}
+	if haveIdx {
+		r.lastPC, r.lastIdx, r.havePC = a.PC, idx, true
+	}
+	delta := int64(block - r.lastBlock)
+	if haveIdx && delta >= deltaMin && delta <= deltaMax {
+		r.push(w | idx<<pcShift | uint64(delta)<<deltaShift)
+	} else {
+		r.push2(w|escapeIdx<<pcShift|uint64(a.PC)<<deltaShift, block)
+	}
+	r.lastBlock = block
+	r.n++
+}
+
+// push appends one word, sealing the current chunk when full.
+func (r *Recorder) push(w uint64) {
+	if len(r.cur) == chunkWords {
+		r.seal()
+	}
+	if r.cur == nil {
+		r.cur = make([]uint64, 0, chunkWords)
+	}
+	r.cur = append(r.cur, w)
+}
+
+// push2 appends an escape pair, sealing early rather than splitting the
+// record across a chunk boundary (chunks decode without carrying a partial
+// record).
+func (r *Recorder) push2(w0, w1 uint64) {
+	if len(r.cur) >= chunkWords-1 {
+		r.seal()
+	}
+	if r.cur == nil {
+		r.cur = make([]uint64, 0, chunkWords)
+	}
+	r.cur = append(r.cur, w0, w1)
+}
+
+// seal closes the current chunk: it stays resident if the budget allows,
+// otherwise it is appended to the spill file and its buffer reused.
+func (r *Recorder) seal() {
+	if len(r.cur) == 0 {
+		return
+	}
+	bytes := int64(len(r.cur)) * 8
+	budget := r.budget
+	if budget == 0 {
+		budget = memoryBudget.Load()
+	}
+	if r.budget == 0 {
+		if memoryInUse.Add(bytes) <= budget {
+			r.ramBytes += bytes
+			r.chunks = append(r.chunks, chunk{words: r.cur})
+			r.cur = nil
+			return
+		}
+		memoryInUse.Add(-bytes)
+	} else if r.ramBytes+bytes <= budget {
+		memoryInUse.Add(bytes)
+		r.ramBytes += bytes
+		r.chunks = append(r.chunks, chunk{words: r.cur})
+		r.cur = nil
+		return
+	}
+	r.spillChunk()
+}
+
+// spillChunk writes the current chunk to the spill file (created lazily
+// and unlinked immediately, so the space is reclaimed as soon as the last
+// descriptor closes even if the process dies).
+func (r *Recorder) spillChunk() {
+	if r.err != nil {
+		r.cur = r.cur[:0]
+		return
+	}
+	if r.spill == nil {
+		f, err := os.CreateTemp("", "grasp-trace-*.spill")
+		if err != nil {
+			r.err = fmt.Errorf("trace: spill: %w", err)
+			r.cur = r.cur[:0]
+			return
+		}
+		// Best-effort unlink-while-open (POSIX); if the OS refuses, the
+		// file is removed when the trace is released.
+		os.Remove(f.Name())
+		r.spill = f
+	}
+	if cap(r.spillBuf) < len(r.cur)*8 {
+		r.spillBuf = make([]byte, chunkWords*8)
+	}
+	buf := r.spillBuf[:len(r.cur)*8]
+	for i, w := range r.cur {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	if _, err := r.spill.WriteAt(buf, r.spillOff); err != nil {
+		r.err = fmt.Errorf("trace: spill: %w", err)
+		r.cur = r.cur[:0]
+		return
+	}
+	r.chunks = append(r.chunks, chunk{off: r.spillOff, n: len(r.cur)})
+	r.spillOff += int64(len(buf))
+	r.cur = r.cur[:0]
+}
+
+// Finish seals the recording into an immutable Trace carrying the upper
+// levels' stats (zero for raw recorders) and the wall-clock of the traced
+// application execution. The recorder must not be used afterwards.
+func (r *Recorder) Finish(appTime time.Duration) (*Trace, error) {
+	r.seal()
+	if r.err != nil {
+		if r.spill != nil {
+			// Mirror Release: no Trace will exist to clean up, so drop the
+			// spill here (the Remove is a no-op where unlink-at-create
+			// already succeeded).
+			os.Remove(r.spill.Name())
+			r.spill.Close()
+		}
+		memoryInUse.Add(-r.ramBytes)
+		return nil, r.err
+	}
+	t := &Trace{
+		chunks:   r.chunks,
+		pcs:      r.pcs,
+		n:        r.n,
+		ramBytes: r.ramBytes,
+		spilled:  r.spillOff,
+		spill:    r.spill,
+		appTime:  appTime,
+	}
+	if r.upper != nil {
+		t.l1, t.l2 = r.upper.L1.Stats, r.upper.L2.Stats
+	}
+	// The session caches that hold traces have no release hooks on
+	// eviction; the finalizer returns the resident bytes to the budget and
+	// drops the spill descriptor once the trace is unreachable.
+	runtime.SetFinalizer(t, (*Trace).Release)
+	return t, nil
+}
+
+// Trace is an immutable recorded LLC-bound access stream plus the
+// recording's context: the L1/L2 filter stats (identical for every replay,
+// because the upper levels never see the LLC) and the application
+// execution wall-clock. Replay methods are safe for concurrent use.
+type Trace struct {
+	chunks   []chunk
+	pcs      []uint32
+	n        int64
+	ramBytes int64
+	spilled  int64
+	spill    *os.File
+	l1, l2   cache.Stats
+	appTime  time.Duration
+	released atomic.Bool
+}
+
+// Len returns the number of recorded accesses.
+func (t *Trace) Len() int64 { return t.n }
+
+// SizeBytes returns the encoded footprint (resident + spilled).
+func (t *Trace) SizeBytes() int64 { return t.ramBytes + t.spilled }
+
+// ResidentBytes returns only the RAM-resident part of the encoding — the
+// quantity memory budgets should charge (spilled bytes live on disk).
+func (t *Trace) ResidentBytes() int64 { return t.ramBytes }
+
+// SpilledBytes returns how much of the encoding lives in the spill file.
+func (t *Trace) SpilledBytes() int64 { return t.spilled }
+
+// L1Stats returns the recording's L1 filter stats.
+func (t *Trace) L1Stats() cache.Stats { return t.l1 }
+
+// L2Stats returns the recording's L2 filter stats.
+func (t *Trace) L2Stats() cache.Stats { return t.l2 }
+
+// AppTime returns the wall-clock of the traced application execution.
+func (t *Trace) AppTime() time.Duration { return t.appTime }
+
+// Release returns the trace's resident bytes to the package budget and
+// closes its spill file. It is idempotent and runs automatically when the
+// trace becomes unreachable; replaying a released trace returns an error.
+func (t *Trace) Release() {
+	if !t.released.CompareAndSwap(false, true) {
+		return
+	}
+	runtime.SetFinalizer(t, nil)
+	memoryInUse.Add(-t.ramBytes)
+	if t.spill != nil {
+		os.Remove(t.spill.Name()) // no-op where unlink-at-create succeeded
+		t.spill.Close()
+	}
+}
+
+// errReleased is returned when replaying a released trace.
+var errReleased = fmt.Errorf("trace: replay of a released trace")
+
+// materialize returns the words of chunk ci: resident chunks are returned as-is
+// (shared, read-only); spilled chunks are read into the caller's scratch
+// buffers via pread, so concurrent replays never contend.
+func (t *Trace) materialize(ci int, scratch *[]uint64, buf *[]byte) ([]uint64, error) {
+	c := &t.chunks[ci]
+	if c.words != nil {
+		return c.words, nil
+	}
+	if t.released.Load() {
+		return nil, errReleased
+	}
+	need := c.n * 8
+	if cap(*buf) < need {
+		*buf = make([]byte, chunkWords*8)
+	}
+	b := (*buf)[:need]
+	if _, err := t.spill.ReadAt(b, c.off); err != nil {
+		return nil, fmt.Errorf("trace: spill read: %w", err)
+	}
+	if cap(*scratch) < c.n {
+		*scratch = make([]uint64, chunkWords)
+	}
+	words := (*scratch)[:c.n]
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return words, nil
+}
+
+// Replay decodes the whole trace into the LLC in recording order. The
+// inner loop is closure-free: each word decodes in place and feeds
+// llc.Access directly, which is the hot path of every policy/geometry
+// sweep datapoint.
+func (t *Trace) Replay(llc *cache.Cache) error { return t.ReplayN(llc, 0) }
+
+// ReplayN decodes at most limit accesses into the LLC (limit <= 0: all).
+// The OPT study replays the same bounded prefix the dedicated
+// trace-collection path used to record (exp's optTraceCap).
+func (t *Trace) ReplayN(llc *cache.Cache, limit int64) error {
+	if t.released.Load() {
+		return errReleased
+	}
+	if limit <= 0 || limit > t.n {
+		limit = t.n
+	}
+	var scratch []uint64
+	var buf []byte
+	var lastBlock uint64
+	var done int64
+	for ci := range t.chunks {
+		if done >= limit {
+			break
+		}
+		words, err := t.materialize(ci, &scratch, &buf)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < len(words) && done < limit; i++ {
+			w := words[i]
+			var block uint64
+			var pc uint32
+			if idx := (w >> pcShift) & pcMask; idx == escapeIdx {
+				pc = uint32(w >> deltaShift)
+				i++
+				block = words[i]
+			} else {
+				pc = t.pcs[idx]
+				block = lastBlock + uint64(int64(w)>>deltaShift)
+			}
+			lastBlock = block
+			llc.Access(mem.Access{
+				Addr:     block<<cache.BlockBits | (w>>low6Shift)&low6Mask,
+				PC:       pc,
+				Write:    w&flagWrite != 0,
+				Property: w&flagProp != 0,
+			})
+			done++
+		}
+	}
+	return nil
+}
+
+// each decodes at most limit accesses (limit <= 0: all) through fn — the
+// cold-path twin of ReplayN for extraction helpers and tests.
+func (t *Trace) each(limit int64, fn func(a mem.Access)) error {
+	if t.released.Load() {
+		return errReleased
+	}
+	if limit <= 0 || limit > t.n {
+		limit = t.n
+	}
+	var scratch []uint64
+	var buf []byte
+	var lastBlock uint64
+	var done int64
+	for ci := range t.chunks {
+		if done >= limit {
+			break
+		}
+		words, err := t.materialize(ci, &scratch, &buf)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < len(words) && done < limit; i++ {
+			w := words[i]
+			var block uint64
+			var pc uint32
+			if idx := (w >> pcShift) & pcMask; idx == escapeIdx {
+				pc = uint32(w >> deltaShift)
+				i++
+				block = words[i]
+			} else {
+				pc = t.pcs[idx]
+				block = lastBlock + uint64(int64(w)>>deltaShift)
+			}
+			lastBlock = block
+			fn(mem.Access{
+				Addr:     block<<cache.BlockBits | (w>>low6Shift)&low6Mask,
+				PC:       pc,
+				Write:    w&flagWrite != 0,
+				Property: w&flagProp != 0,
+			})
+			done++
+		}
+	}
+	return nil
+}
+
+// Accesses decodes the first limit accesses (limit <= 0: all) into a
+// slice, for tests and equivalence checks.
+func (t *Trace) Accesses(limit int64) ([]mem.Access, error) {
+	n := t.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]mem.Access, 0, n)
+	err := t.each(limit, func(a mem.Access) { out = append(out, a) })
+	return out, err
+}
+
+// Addrs decodes the byte addresses of the first limit accesses (limit <=
+// 0: all) — the shape Session.LLCTrace has always returned for the OPT
+// study.
+func (t *Trace) Addrs(limit int64) ([]uint64, error) {
+	n := t.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]uint64, 0, n)
+	err := t.each(limit, func(a mem.Access) { out = append(out, a.Addr) })
+	return out, err
+}
+
+// Blocks decodes the block addresses of the first limit accesses (limit
+// <= 0: all), the input shape of policy.SimulateOPT.
+func (t *Trace) Blocks(limit int64) ([]uint64, error) {
+	n := t.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]uint64, 0, n)
+	err := t.each(limit, func(a mem.Access) { out = append(out, cache.BlockAddr(a.Addr)) })
+	return out, err
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// record encodes the accesses through a raw recorder (optionally with a
+// resident-bytes override) and seals the trace.
+func record(t *testing.T, accs []mem.Access, override int64) *Trace {
+	t.Helper()
+	r := NewRawRecorder()
+	if override != 0 {
+		r.SetMemoryOverride(override)
+	}
+	for _, a := range accs {
+		r.Record(a)
+	}
+	tr, err := r.Finish(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Release)
+	return tr
+}
+
+// checkRoundTrip asserts the decoded stream matches the input exactly.
+func checkRoundTrip(t *testing.T, accs []mem.Access, tr *Trace) {
+	t.Helper()
+	if tr.Len() != int64(len(accs)) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(accs))
+	}
+	got, err := tr.Accesses(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range accs {
+		if got[i] != a {
+			t.Fatalf("access %d: got %+v, want %+v", i, got[i], a)
+		}
+	}
+}
+
+// interesting builds a stream hitting every encoding form: tiny deltas,
+// negative deltas, block-crossing jumps beyond the 44-bit compact range,
+// sub-block offsets, flag combinations, and repeated PCs.
+func interesting() []mem.Access {
+	pcs := []uint32{0, 1, 0xDEADBEEF, 42}
+	var accs []mem.Access
+	addr := uint64(0x1000_0000)
+	for i := 0; i < 5000; i++ {
+		a := mem.Access{
+			Addr:     addr,
+			PC:       pcs[i%len(pcs)],
+			Write:    i%3 == 0,
+			Property: i%5 == 0,
+		}
+		accs = append(accs, a)
+		switch i % 7 {
+		case 0:
+			addr += 64
+		case 1:
+			addr -= 128
+		case 2:
+			addr += 1 // sub-block motion
+		case 3:
+			addr += uint64(1) << 52 // forces the escape form
+		case 4:
+			addr -= uint64(1) << 52
+		default:
+			addr += 4096
+		}
+	}
+	// Extremes of the address space.
+	accs = append(accs,
+		mem.Access{Addr: 0},
+		mem.Access{Addr: ^uint64(0)},
+		mem.Access{Addr: 0, Write: true, Property: true},
+	)
+	return accs
+}
+
+func TestRoundTrip(t *testing.T) {
+	accs := interesting()
+	checkRoundTrip(t, accs, record(t, accs, 0))
+}
+
+func TestRoundTripSpilled(t *testing.T) {
+	accs := interesting()
+	tr := record(t, accs, -1) // spill every chunk
+	if tr.SpilledBytes() == 0 {
+		t.Fatal("override did not spill")
+	}
+	checkRoundTrip(t, accs, tr)
+}
+
+// TestChunkBoundaryEscape fills a chunk to one slot short of capacity and
+// then emits escape records, which must not split across the boundary.
+func TestChunkBoundaryEscape(t *testing.T) {
+	var accs []mem.Access
+	addr := uint64(0)
+	for i := 0; i < chunkWords-1; i++ {
+		addr += 64
+		accs = append(accs, mem.Access{Addr: addr})
+	}
+	for i := 0; i < 10; i++ {
+		addr += uint64(1) << 60 // escape every time
+		accs = append(accs, mem.Access{Addr: addr, PC: uint32(i)})
+	}
+	checkRoundTrip(t, accs, record(t, accs, 0))
+}
+
+// TestPCDictionaryOverflow drives more distinct PCs than the dictionary
+// holds; the overflow must fall back to escape records losslessly.
+func TestPCDictionaryOverflow(t *testing.T) {
+	var accs []mem.Access
+	for i := 0; i < maxPCs+500; i++ {
+		accs = append(accs, mem.Access{Addr: uint64(i) * 64, PC: uint32(i) * 2654435761})
+	}
+	checkRoundTrip(t, accs, record(t, accs, 0))
+}
+
+func TestReplayN(t *testing.T) {
+	accs := interesting()
+	tr := record(t, accs, 0)
+	llcCfg := cache.Config{SizeBytes: 4096, Ways: 4}
+	full := cache.MustNew(llcCfg, cache.NewLRU(llcCfg.Sets(), llcCfg.Ways))
+	if err := tr.Replay(full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Accesses() != uint64(len(accs)) {
+		t.Fatalf("replayed %d accesses, want %d", full.Stats.Accesses(), len(accs))
+	}
+
+	// A bounded replay must equal a direct simulation of the prefix.
+	const limit = 1234
+	bounded := cache.MustNew(llcCfg, cache.NewLRU(llcCfg.Sets(), llcCfg.Ways))
+	if err := tr.ReplayN(bounded, limit); err != nil {
+		t.Fatal(err)
+	}
+	direct := cache.MustNew(llcCfg, cache.NewLRU(llcCfg.Sets(), llcCfg.Ways))
+	for _, a := range accs[:limit] {
+		direct.Access(a)
+	}
+	if bounded.Stats != direct.Stats {
+		t.Fatalf("bounded replay stats %+v != direct prefix stats %+v", bounded.Stats, direct.Stats)
+	}
+}
+
+// TestRecorderFiltersUpperLevels: with the L1/L2 front-end, the recorded
+// stream must be exactly the accesses a Hierarchy would pass to its LLC,
+// and the recording's L1/L2 stats must match the hierarchy's.
+func TestRecorderFiltersUpperLevels(t *testing.T) {
+	hcfg := cache.DefaultHierarchyConfig()
+	rec, err := NewRecorder(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cache.NewHierarchy(hcfg, cache.NewLRU(hcfg.LLC.Sets(), hcfg.LLC.Ways), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := interesting()
+	for _, a := range accs {
+		rec.Access(a)
+		h.Access(a)
+	}
+	tr, err := rec.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	if tr.L1Stats() != h.L1.Stats || tr.L2Stats() != h.L2.Stats {
+		t.Fatalf("filter stats diverge: L1 %+v vs %+v, L2 %+v vs %+v",
+			tr.L1Stats(), h.L1.Stats, tr.L2Stats(), h.L2.Stats)
+	}
+	if tr.Len() != int64(h.LLC.Stats.Accesses()) {
+		t.Fatalf("recorded %d LLC-bound accesses, hierarchy LLC saw %d",
+			tr.Len(), h.LLC.Stats.Accesses())
+	}
+	llc := cache.MustNew(hcfg.LLC, cache.NewLRU(hcfg.LLC.Sets(), hcfg.LLC.Ways))
+	if err := tr.Replay(llc); err != nil {
+		t.Fatal(err)
+	}
+	if llc.Stats != h.LLC.Stats {
+		t.Fatalf("replayed LLC stats %+v != hierarchy LLC stats %+v", llc.Stats, h.LLC.Stats)
+	}
+}
+
+// TestMemoryAccounting: resident bytes are charged while the trace lives
+// and returned on Release; Release is idempotent and blocks replay.
+func TestMemoryAccounting(t *testing.T) {
+	before := MemoryInUse()
+	accs := interesting()
+	r := NewRawRecorder()
+	for _, a := range accs {
+		r.Record(a)
+	}
+	tr, err := r.Finish(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SizeBytes() == 0 {
+		t.Fatal("trace reports zero footprint")
+	}
+	if MemoryInUse() != before+tr.SizeBytes()-tr.SpilledBytes() {
+		t.Fatalf("in-use %d, want %d", MemoryInUse(), before+tr.SizeBytes()-tr.SpilledBytes())
+	}
+	tr.Release()
+	tr.Release()
+	if MemoryInUse() != before {
+		t.Fatalf("Release leaked accounting: %d != %d", MemoryInUse(), before)
+	}
+	if err := tr.Replay(cache.MustNew(cache.Config{SizeBytes: 1024, Ways: 2}, cache.NewLRU(8, 2))); err == nil {
+		t.Fatal("replay of released trace succeeded")
+	}
+	if _, err := tr.Accesses(0); err == nil {
+		t.Fatal("decode of released trace succeeded")
+	}
+}
+
+// TestConcurrentSpilledReplay replays one spilled trace from several
+// goroutines; pread-based chunk reads must not interfere.
+func TestConcurrentSpilledReplay(t *testing.T) {
+	accs := interesting()
+	tr := record(t, accs, -1)
+	llcCfg := cache.Config{SizeBytes: 8192, Ways: 8}
+	ref := cache.MustNew(llcCfg, cache.NewLRU(llcCfg.Sets(), llcCfg.Ways))
+	if err := tr.Replay(ref); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan cache.Stats, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			llc := cache.MustNew(llcCfg, cache.NewLRU(llcCfg.Sets(), llcCfg.Ways))
+			if err := tr.Replay(llc); err != nil {
+				t.Error(err)
+			}
+			done <- llc.Stats
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-done; got != ref.Stats {
+			t.Fatalf("concurrent replay stats %+v != reference %+v", got, ref.Stats)
+		}
+	}
+}

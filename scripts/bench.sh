@@ -1,17 +1,37 @@
 #!/bin/sh
 # Record a performance snapshot of the experiment engine into
-# BENCH_<date>.json (run from anywhere inside the repo).
+# BENCH_<date>.json, or compare two snapshots (run from anywhere inside
+# the repo).
 #
-#   scripts/bench.sh            # full sweep at 1/8 scale
-#   SCALE=32 scripts/bench.sh   # cheaper sweep
+#   scripts/bench.sh                      # full sweep at 1/8 scale
+#   SCALE=32 scripts/bench.sh             # cheaper sweep
+#   OUT=bench-ci.json scripts/bench.sh    # custom output path
+#   scripts/bench.sh compare OLD NEW      # per-experiment deltas; exits
+#                                         # non-zero on a >10% regression
+#                                         # (see tools/benchcmp flags)
 #
 # The JSON records the parallel prefetch phase, per-experiment render
 # times and the total, plus GOMAXPROCS — compare files across PRs to
 # track the perf trajectory.
 set -eu
+caller="$PWD"
 cd "$(dirname "$0")/.."
 
-out="BENCH_$(date +%Y-%m-%d).json"
+if [ "${1:-}" = "compare" ]; then
+    shift
+    # Rebase relative snapshot paths against the caller's directory (the
+    # script cd's to the repo root so `go run ./tools/benchcmp` resolves).
+    i=0; n=$#
+    while [ "$i" -lt "$n" ]; do
+        a="$1"; shift
+        case "$a" in -*|/*) ;; *) a="$caller/$a" ;; esac
+        set -- "$@" "$a"
+        i=$((i+1))
+    done
+    exec go run ./tools/benchcmp "$@"
+fi
+
+out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 scale="${SCALE:-8}"
 
 go build ./...

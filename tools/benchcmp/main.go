@@ -1,0 +1,141 @@
+// Command benchcmp compares two BENCH_*.json perf snapshots (written by
+// `graspsim -bench-json` / scripts/bench.sh) and prints per-experiment
+// wall-clock deltas plus the prefetch-phase and total lines.
+//
+// Usage:
+//
+//	go run ./tools/benchcmp OLD.json NEW.json
+//	scripts/bench.sh compare OLD.json NEW.json
+//
+// By default it exits non-zero when NEW regresses OLD by more than
+// -tolerance percent AND more than -min-delta seconds on any experiment
+// (the absolute floor keeps micro-entries' jitter from failing builds).
+// When the snapshots were taken at different scales or GOMAXPROCS the
+// comparison is apples-to-oranges, so the gate auto-disables with a
+// warning; -no-gate disables it unconditionally (CI compares laptops'
+// committed baselines against runner hardware this way, archiving the
+// report without failing the build).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// entry is one experiment's wall-clock in a snapshot.
+type entry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// snapshot mirrors graspsim's -bench-json record.
+type snapshot struct {
+	Date         string  `json:"date"`
+	Scale        uint    `json:"scale"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	PrefetchSec  float64 `json:"prefetch_seconds"`
+	Experiments  []entry `json:"experiments"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// deltaPct returns the relative change of new vs old in percent (positive
+// = slower).
+func deltaPct(oldS, newS float64) float64 {
+	if oldS == 0 {
+		return 0
+	}
+	return (newS/oldS - 1) * 100
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 10, "regression gate threshold in percent")
+	minDelta := flag.Float64("min-delta", 0.1, "absolute floor in seconds below which a regression never gates")
+	noGate := flag.Bool("no-gate", false, "report only; never exit non-zero on regressions")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"Usage: benchcmp [flags] OLD.json NEW.json\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	gate := !*noGate
+	if oldSnap.Scale != newSnap.Scale || oldSnap.GoMaxProcs != newSnap.GoMaxProcs {
+		fmt.Printf("note: snapshots differ in scale (%d vs %d) or GOMAXPROCS (%d vs %d); regression gate disabled\n",
+			oldSnap.Scale, newSnap.Scale, oldSnap.GoMaxProcs, newSnap.GoMaxProcs)
+		gate = false
+	}
+	fmt.Printf("old: %s (scale 1/%d, GOMAXPROCS %d)\nnew: %s (scale 1/%d, GOMAXPROCS %d)\n\n",
+		oldSnap.Date, oldSnap.Scale, oldSnap.GoMaxProcs,
+		newSnap.Date, newSnap.Scale, newSnap.GoMaxProcs)
+
+	oldByID := make(map[string]float64, len(oldSnap.Experiments))
+	for _, e := range oldSnap.Experiments {
+		oldByID[e.ID] = e.Seconds
+	}
+	fmt.Printf("%-18s %12s %12s %9s\n", "experiment", "old (s)", "new (s)", "delta")
+	row := func(id string, oldS, newS float64) {
+		fmt.Printf("%-18s %12.4f %12.4f %+8.1f%%\n", id, oldS, newS, deltaPct(oldS, newS))
+	}
+	row("prefetch", oldSnap.PrefetchSec, newSnap.PrefetchSec)
+	regressions := 0
+	check := func(id string, oldS, newS float64) {
+		if deltaPct(oldS, newS) > *tolerance && newS-oldS > *minDelta {
+			regressions++
+			fmt.Printf("%-18s ^ REGRESSION (> %.0f%% and > %.2fs)\n", "", *tolerance, *minDelta)
+		}
+	}
+	check("prefetch", oldSnap.PrefetchSec, newSnap.PrefetchSec)
+	for _, e := range newSnap.Experiments {
+		oldS, ok := oldByID[e.ID]
+		if !ok {
+			fmt.Printf("%-18s %12s %12.4f %9s\n", e.ID, "-", e.Seconds, "new")
+			continue
+		}
+		delete(oldByID, e.ID)
+		row(e.ID, oldS, e.Seconds)
+		check(e.ID, oldS, e.Seconds)
+	}
+	for _, e := range oldSnap.Experiments {
+		if _, stillOld := oldByID[e.ID]; stillOld {
+			fmt.Printf("%-18s %12.4f %12s %9s\n", e.ID, e.Seconds, "-", "gone")
+		}
+	}
+	row("total", oldSnap.TotalSeconds, newSnap.TotalSeconds)
+	check("total", oldSnap.TotalSeconds, newSnap.TotalSeconds)
+
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, *tolerance)
+		if gate {
+			os.Exit(1)
+		}
+		fmt.Println("(gate disabled; exiting 0)")
+	}
+}
