@@ -46,12 +46,14 @@ func main() {
 		"how long shutdown waits for running simulations to finish")
 	graphCacheMB := flag.Int64("graph-cache-mb", 0,
 		"cap (MiB) on parsed file graphs retained by the registry AND per session; 0 = built-in defaults, negative = unlimited")
+	traceCacheMB := flag.Int64("trace-cache-mb", 0,
+		"cap (MiB) on cached LLC recordings' encoded bytes per session (bounds spill temp-disk usage); 0 = built-in default, negative = unlimited")
 	flag.Parse()
 
 	if *graphCacheMB != 0 {
 		graph.SetFileCacheBudget(*graphCacheMB << 20)
 	}
-	if err := run(*addr, *dataDir, *workers, *drainTimeout, *graphCacheMB<<20); err != nil {
+	if err := run(*addr, *dataDir, *workers, *drainTimeout, *graphCacheMB<<20, *traceCacheMB<<20); err != nil {
 		fmt.Fprintln(os.Stderr, "graspd:", err)
 		os.Exit(1)
 	}
@@ -59,7 +61,7 @@ func main() {
 
 // run boots the store, manager and HTTP server, then blocks until a
 // termination signal starts the drain sequence.
-func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionBudget int64) error {
+func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionBudget, traceBudget int64) error {
 	store, err := jobs.OpenStore(dataDir)
 	if err != nil {
 		return err
@@ -67,6 +69,9 @@ func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionB
 	mgr := jobs.NewManager(store, workers)
 	if sessionBudget != 0 {
 		mgr.SetSessionFileBudget(sessionBudget)
+	}
+	if traceBudget != 0 {
+		mgr.SetSessionTraceBudget(traceBudget)
 	}
 	srv := &http.Server{Addr: addr, Handler: server.New(mgr)}
 

@@ -122,12 +122,19 @@ type benchEntry struct {
 
 // benchRecord is the perf-trajectory snapshot written by -bench-json.
 type benchRecord struct {
-	Date         string       `json:"date"`
-	Scale        uint         `json:"scale"`
-	GoMaxProcs   int          `json:"gomaxprocs"`
-	PrefetchSec  float64      `json:"prefetch_seconds"` // parallel fan-out phase (RunAll)
-	Experiments  []benchEntry `json:"experiments"`      // per-body render time
-	TotalSeconds float64      `json:"total_seconds"`
+	Date        string  `json:"date"`
+	Scale       uint    `json:"scale"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	PrefetchSec float64 `json:"prefetch_seconds"` // parallel fan-out phase (RunAll)
+	// Phases breaks the engine time down by phase (load / reorder /
+	// record / replay / direct from exp.Session.PhaseSeconds, plus
+	// "render" = the sum of experiment body times), so a regression
+	// localizes to a phase instead of only a per-experiment total. Engine
+	// phases are worker-cumulative: on a multi-core run they can sum past
+	// the prefetch wall-clock.
+	Phases       map[string]float64 `json:"phases,omitempty"`
+	Experiments  []benchEntry       `json:"experiments"` // per-body render time
+	TotalSeconds float64            `json:"total_seconds"`
 }
 
 func main() {
@@ -258,6 +265,12 @@ func realMain(o *options) int {
 		return 1
 	}
 	record.TotalSeconds = time.Since(start).Seconds()
+	record.Phases = session.PhaseSeconds()
+	var render float64
+	for _, e := range record.Experiments {
+		render += e.Seconds
+	}
+	record.Phases["render"] = render
 
 	if o.benchJSON != "" {
 		path := o.benchJSON

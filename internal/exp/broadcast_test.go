@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/trace"
+)
+
+// TestBroadcastSmoke is the CI assertion that the decode-once broadcast
+// path is actually taken for a multi-policy group: one Prefetch batch
+// sweeping four policies over one (dataset, reorder, app, layout) group
+// must record once, serve every policy through ONE broadcast fan-out, and
+// bump both the session counter and the process-wide trace counters the
+// graspd /metrics endpoint exports.
+func TestBroadcastSmoke(t *testing.T) {
+	t.Parallel()
+	runs0, cons0 := trace.BroadcastStats()
+	s := NewSession(ScaledConfig(64))
+	schemes := []string{"GRASP", "LRU", "SHiP-MEM"}
+	if err := s.Prefetch(matrixPoints([]string{"kr"}, "DBG", []string{"PR"}, schemes)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Broadcasts(); got != 1 {
+		t.Fatalf("Broadcasts = %d, want 1 (one fan-out for the whole group)", got)
+	}
+	runs, cons := trace.BroadcastStats()
+	if runs <= runs0 {
+		t.Fatal("trace.BroadcastStats runs did not advance; broadcast path not taken")
+	}
+	// Other parallel tests may broadcast too, so assert only this batch's
+	// contribution as a lower bound: >= one run with all four policies.
+	if cons-cons0 < uint64(len(schemes)+1) {
+		t.Fatalf("BroadcastStats consumers advanced by %d, want >= %d", cons-cons0, len(schemes)+1)
+	}
+	if got, want := s.SimRuns(), uint64(len(schemes)+1); got != want {
+		t.Fatalf("SimRuns = %d, want %d (every policy exactly once)", got, want)
+	}
+	// The phase accounting must attribute the batch: a recording happened
+	// and the replays were timed under the replay phase.
+	ph := s.PhaseSeconds()
+	if ph["record"] <= 0 || ph["replay"] <= 0 {
+		t.Fatalf("phase breakdown missing record/replay time: %v", ph)
+	}
+}
+
+// TestSessionTraceBudgetEvictsLRU: cached recordings are bounded by
+// Config.TraceBytesBudget — recording a second group under a tiny budget
+// evicts AND releases the least-recently-used recording (reclaiming its
+// resident bytes eagerly), while the newest recording stays cached; the
+// evicted group transparently re-records on next use.
+func TestSessionTraceBudgetEvictsLRU(t *testing.T) {
+	cfg := ScaledConfig(64)
+	cfg.TraceBytesBudget = 1 // every newcomer evicts the previous recording
+	s := NewSession(cfg)
+	inUse0 := trace.MemoryInUse()
+
+	groupA := matrixPoints([]string{"lj"}, "DBG", []string{"PR"}, []string{"GRASP"})
+	if err := s.Prefetch(groupA); err != nil {
+		t.Fatal(err)
+	}
+	kA := groupKey{ds: "lj", reorder: "DBG", app: "PR", layout: apps.LayoutMerged}
+	if !s.traceReady(kA) {
+		t.Fatal("group A recording not cached after its batch")
+	}
+	bytesA := s.TraceBytesRetained()
+	if bytesA <= 0 {
+		t.Fatal("recording not charged to the trace budget")
+	}
+
+	if err := s.Prefetch(matrixPoints([]string{"lj"}, "DBG", []string{"BFS"}, []string{"GRASP"})); err != nil {
+		t.Fatal(err)
+	}
+	kB := groupKey{ds: "lj", reorder: "DBG", app: "BFS", layout: apps.LayoutMerged}
+	if s.traceReady(kA) {
+		t.Fatal("LRU recording (group A) not evicted by the byte budget")
+	}
+	if !s.traceReady(kB) {
+		t.Fatal("most recent recording (group B) was evicted")
+	}
+	if n := s.traces.len(); n != 1 {
+		t.Fatalf("trace memo holds %d entries after eviction, want 1", n)
+	}
+	// Eviction must have Released A: its resident bytes are back in the
+	// process budget (B's are still charged).
+	if got := trace.MemoryInUse() - inUse0; got != s.TraceBytesRetained() {
+		t.Fatalf("process resident bytes grew by %d, want exactly the retained %d (eviction did not release)",
+			got, s.TraceBytesRetained())
+	}
+	// The evicted group still serves correctly (re-records on demand).
+	if _, err := s.Result("lj", "DBG", "PR", apps.LayoutMerged, "LRU"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBroadcastEvictionHammer races >= 4-policy broadcast
+// replays against continuous recording eviction (a one-byte trace budget
+// evicts on every new recording) and session cache churn from concurrent
+// Result calls across several groups. Every result must come out
+// identical to an unpressured baseline: the pin/release protocol means an
+// eviction can reclaim a trace mid-batch only after its replays finish,
+// and evicted groups silently re-record. Run under -race in CI.
+func TestConcurrentBroadcastEvictionHammer(t *testing.T) {
+	t.Parallel()
+	schemes := []string{"GRASP", "LRU", "SHiP-MEM", "Leeway"}
+	apps3 := []string{"PR", "BFS", "BC"}
+
+	baseline := NewSession(ScaledConfig(64))
+	type key struct{ app, pol string }
+	want := make(map[key]uint64)
+	for _, app := range apps3 {
+		for _, pol := range append([]string{"RRIP"}, schemes...) {
+			r, err := baseline.Result("kr", "DBG", app, apps.LayoutMerged, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{app, pol}] = r.LLC.Misses
+		}
+	}
+
+	cfg := ScaledConfig(64)
+	cfg.TraceBytesBudget = 1
+	s := NewSession(cfg)
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	// Batch hammers: each goroutine sweeps a different app's 5-policy
+	// group, so every batch's new recording evicts another goroutine's.
+	for round := 0; round < 3; round++ {
+		for _, app := range apps3 {
+			wg.Add(1)
+			go func(app string) {
+				defer wg.Done()
+				if err := s.Prefetch(matrixPoints([]string{"kr"}, "DBG", []string{app}, schemes)); err != nil {
+					errc <- err
+				}
+			}(app)
+		}
+	}
+	// Cache churners: single Result calls racing the batches (replay when
+	// a recording survives, direct execution otherwise).
+	for _, app := range apps3 {
+		wg.Add(1)
+		go func(app string) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := s.Result("kr", "DBG", app, apps.LayoutMerged, schemes[i]); err != nil {
+					errc <- err
+				}
+			}
+		}(app)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for _, app := range apps3 {
+		for _, pol := range append([]string{"RRIP"}, schemes...) {
+			r, err := s.Result("kr", "DBG", app, apps.LayoutMerged, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.LLC.Misses != want[key{app, pol}] {
+				t.Fatalf("%s/%s: misses %d under eviction pressure, want %d",
+					app, pol, r.LLC.Misses, want[key{app, pol}])
+			}
+		}
+	}
+}

@@ -46,11 +46,28 @@ type Config struct {
 	// are a small fixed set and are never evicted. 0 selects
 	// DefaultFileBytesBudget; negative disables the cap.
 	FileBytesBudget int64
+	// TraceBytesBudget caps the total encoded bytes (resident + spilled)
+	// of the recordings the session keeps cached, across ALL datasets:
+	// the trace memory budget (trace.SetMemoryBudget) only bounds RAM —
+	// the overflow spills to temp files that persist while their traces
+	// stay cached, so a daemon sweeping many full-scale multi-policy
+	// groups would otherwise accumulate unbounded temp disk. When the
+	// total exceeds the budget the least-recently-used recordings are
+	// evicted and Released (their spill space reclaimed immediately;
+	// in-flight replays are protected by trace pinning — DESIGN.md
+	// Sec. 11). 0 selects DefaultTraceBytesBudget; negative disables.
+	TraceBytesBudget int64
 }
 
 // DefaultFileBytesBudget is the per-session retained-bytes cap for
 // file-backed datasets when Config.FileBytesBudget is zero (2 GiB).
 const DefaultFileBytesBudget = int64(2) << 30
+
+// DefaultTraceBytesBudget is the per-session cap on cached recordings'
+// encoded bytes when Config.TraceBytesBudget is zero (16 GiB): generous
+// enough that a bench-scale sweep never evicts, small enough that
+// full-scale spill files cannot fill a typical temp filesystem.
+const DefaultTraceBytesBudget = int64(16) << 30
 
 // DefaultConfig returns the full reproduction scale.
 func DefaultConfig() Config {
@@ -194,12 +211,21 @@ func (f *flightCache[V]) deleteMatching(match func(key string) bool) {
 // costs about as much as a direct run, so it only pays off when amortized)
 // unless a recording already exists.
 type Session struct {
-	Cfg       Config
-	bases     *flightCache[*graph.CSR] // loaded base graphs, shared across reorderings
-	workloads *flightCache[*sim.Workload]
-	results   *flightCache[sim.Result]
-	traces    *flightCache[recording]
-	simRuns   atomic.Uint64 // number of distinct simulated result datapoints (dedup observability)
+	Cfg        Config
+	bases      *flightCache[*graph.CSR] // loaded base graphs, shared across reorderings
+	workloads  *flightCache[*sim.Workload]
+	results    *flightCache[sim.Result]
+	traces     *flightCache[recording]
+	simRuns    atomic.Uint64 // number of distinct simulated result datapoints (dedup observability)
+	broadcasts atomic.Uint64 // groups whose replays were served by one broadcast decode
+
+	// phase accumulates cumulative engine nanoseconds per prefetch phase
+	// (across workers, so a multi-core batch's phases can sum past
+	// wall-clock); PhaseSeconds exposes it for the bench tooling's
+	// per-phase regression tracking.
+	phase struct {
+		load, reorder, record, replay, direct atomic.Int64
+	}
 
 	stampMu sync.Mutex
 	stamps  map[string]fileStamp // graph-file spec -> last observed stamp
@@ -208,6 +234,11 @@ type Session struct {
 	fileUse   map[string]*fileUsage // file-backed dataset -> retained bytes + recency
 	fileSeq   uint64
 	fileTotal int64
+
+	traceMu    sync.Mutex
+	traceUse   map[string]*traceUsage // trace cache key -> encoded bytes + recency
+	traceSeq   uint64
+	traceTotal int64
 }
 
 // fileStamp is one observed (size, mtime) state of a graph file.
@@ -237,10 +268,23 @@ type fileUsage struct {
 	seq   uint64
 }
 
+// traceUsage tracks one cached recording's encoded footprint and recency
+// for the recording byte-budget eviction; it also holds the recording so
+// eviction can Release it (returning resident bytes to the process budget
+// and reclaiming spill-file space) instead of waiting for GC.
+type traceUsage struct {
+	bytes int64
+	seq   uint64
+	rec   recording
+}
+
 // NewSession creates a session.
 func NewSession(cfg Config) *Session {
 	if cfg.FileBytesBudget == 0 {
 		cfg.FileBytesBudget = DefaultFileBytesBudget
+	}
+	if cfg.TraceBytesBudget == 0 {
+		cfg.TraceBytesBudget = DefaultTraceBytesBudget
 	}
 	return &Session{Cfg: cfg,
 		bases:     newFlightCache[*graph.CSR](),
@@ -248,7 +292,8 @@ func NewSession(cfg Config) *Session {
 		results:   newFlightCache[sim.Result](),
 		traces:    newFlightCache[recording](),
 		stamps:    make(map[string]fileStamp),
-		fileUse:   make(map[string]*fileUsage)}
+		fileUse:   make(map[string]*fileUsage),
+		traceUse:  make(map[string]*traceUsage)}
 }
 
 // SimRuns returns the number of distinct result datapoints the session
@@ -256,6 +301,32 @@ func NewSession(cfg Config) *Session {
 // hits and singleflight-merged requests do not count, so under any access
 // pattern this equals the number of distinct result datapoints.
 func (s *Session) SimRuns() uint64 { return s.simRuns.Load() }
+
+// Broadcasts returns how many recording groups this session has served
+// through the decode-once broadcast path (a Prefetch batch group counts
+// once regardless of its policy count). The CI bench smoke asserts this
+// is non-zero for a multi-policy batch.
+func (s *Session) Broadcasts() uint64 { return s.broadcasts.Load() }
+
+// PhaseSeconds returns the session's cumulative engine time per phase:
+// "load" (dataset generation/ingestion), "reorder" (vertex reordering +
+// relabeling), "record" (traced application executions), "replay"
+// (trace decode + LLC simulation, broadcast or single) and "direct"
+// (execution-driven simulations that bypassed the trace engine). Values
+// are worker-cumulative — on a multi-core host the phases of one wall
+// second can sum to several phase-seconds — and monotone over the
+// session's lifetime; the bench tooling records them so a prefetch
+// regression localizes to a phase (DESIGN.md Sec. 7).
+func (s *Session) PhaseSeconds() map[string]float64 {
+	sec := func(a *atomic.Int64) float64 { return time.Duration(a.Load()).Seconds() }
+	return map[string]float64{
+		"load":    sec(&s.phase.load),
+		"reorder": sec(&s.phase.reorder),
+		"record":  sec(&s.phase.record),
+		"replay":  sec(&s.phase.replay),
+		"direct":  sec(&s.phase.direct),
+	}
+}
 
 // datasetKey returns the cache-key component for a dataset spec. Specs
 // that resolve to synthetic datasets key as themselves (generation is
@@ -300,13 +371,15 @@ func (s *Session) datasetKey(dsName string) string {
 		// the memos (do() inserts under the caller's full key), so entries
 		// being computed under cur's key right now are untouched.
 		curKey := cur.key(dsName)
-		for _, c := range []interface{ deleteMatching(func(string) bool) }{
-			s.bases, s.workloads, s.results, s.traces,
-		} {
-			c.deleteMatching(func(k string) bool {
-				return strings.HasPrefix(k, dsName+"@") && !strings.HasPrefix(k, curKey+"|")
-			})
+		stale := func(k string) bool {
+			return strings.HasPrefix(k, dsName+"@") && !strings.HasPrefix(k, curKey+"|")
 		}
+		for _, c := range []interface{ deleteMatching(func(string) bool) }{
+			s.bases, s.workloads, s.results,
+		} {
+			c.deleteMatching(stale)
+		}
+		s.releaseRecordings(stale)
 		// The swept generations' graphs and traces are gone; restart the
 		// byte accounting at the per-path overhead (current-stamp entries
 		// re-account as they are computed).
@@ -396,20 +469,101 @@ func (s *Session) noteFileBytes(dsName string, n int64) {
 // file-backed dataset from the four caches plus its stamp, freeing the
 // parsed graphs and recorded traces it pinned. In-flight computations are
 // unaffected (deleteMatching semantics); the next request re-ingests.
-// Dropped recordings are reclaimed by GC via their finalizer rather than
-// an eager Release: a concurrent replay may still be reading an evicted
-// trace's chunks (or spill file), so eager release needs replay
-// refcounting — the ROADMAP's cached-recording budget item.
+// Dropped recordings are Released eagerly — trace pinning protects any
+// replay still reading them (DESIGN.md Sec. 11).
 func (s *Session) evictDataset(dsName string) {
 	prefix := dsName + "@"
+	match := func(k string) bool { return strings.HasPrefix(k, prefix) }
 	for _, c := range []interface{ deleteMatching(func(string) bool) }{
-		s.bases, s.workloads, s.results, s.traces,
+		s.bases, s.workloads, s.results,
 	} {
-		c.deleteMatching(func(k string) bool { return strings.HasPrefix(k, prefix) })
+		c.deleteMatching(match)
 	}
+	s.releaseRecordings(match)
 	s.stampMu.Lock()
 	delete(s.stamps, dsName)
 	s.stampMu.Unlock()
+}
+
+// releaseRecordings removes every cached recording whose cache key
+// satisfies match from the trace memo and the recording budget, then
+// Releases each one: resident bytes return to the process budget and
+// spill files close immediately, while replays that pinned the trace
+// before the release keep reading it safely until they unpin.
+func (s *Session) releaseRecordings(match func(key string) bool) {
+	s.traces.deleteMatching(match)
+	s.traceMu.Lock()
+	var victims []recording
+	for k, u := range s.traceUse {
+		if match(k) {
+			s.traceTotal -= u.bytes
+			victims = append(victims, u.rec)
+			delete(s.traceUse, k)
+		}
+	}
+	s.traceMu.Unlock()
+	for _, rec := range victims {
+		rec.tr.Release()
+	}
+}
+
+// registerRecording charges a freshly recorded trace's encoded bytes to
+// the session's recording budget and evicts (Releases) least-recently-
+// used cached recordings while the total exceeds Config.TraceBytesBudget.
+// The entry being registered is never evicted by its own insertion, so a
+// single over-budget recording still serves its group before becoming an
+// eviction candidate.
+func (s *Session) registerRecording(key string, rec recording) {
+	bytes := rec.tr.SizeBytes()
+	budget := s.Cfg.TraceBytesBudget
+	var victimKeys []string
+	var victims []recording
+	s.traceMu.Lock()
+	s.traceSeq++
+	s.traceUse[key] = &traceUsage{bytes: bytes, seq: s.traceSeq, rec: rec}
+	s.traceTotal += bytes
+	if budget > 0 {
+		for s.traceTotal > budget && len(s.traceUse) > 1 {
+			oldest, oldestSeq := "", uint64(0)
+			for k, u := range s.traceUse {
+				if k != key && (oldest == "" || u.seq < oldestSeq) {
+					oldest, oldestSeq = k, u.seq
+				}
+			}
+			if oldest == "" {
+				break
+			}
+			u := s.traceUse[oldest]
+			s.traceTotal -= u.bytes
+			victimKeys = append(victimKeys, oldest)
+			victims = append(victims, u.rec)
+			delete(s.traceUse, oldest)
+		}
+	}
+	s.traceMu.Unlock()
+	for i, vk := range victimKeys {
+		vk := vk
+		s.traces.deleteMatching(func(k string) bool { return k == vk })
+		victims[i].tr.Release()
+	}
+}
+
+// touchRecording bumps a cached recording's LRU recency on reuse.
+func (s *Session) touchRecording(key string) {
+	s.traceMu.Lock()
+	if u := s.traceUse[key]; u != nil {
+		s.traceSeq++
+		u.seq = s.traceSeq
+	}
+	s.traceMu.Unlock()
+}
+
+// TraceBytesRetained returns the total encoded bytes of the recordings
+// the session currently caches (observability and tests).
+func (s *Session) TraceBytesRetained() int64 {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.traceTotal
 }
 
 // FileBytesRetained returns the approximate bytes currently retained for
@@ -444,8 +598,11 @@ func (p Datapoint) group() groupKey {
 func (s *Session) record(k groupKey) (recording, error) {
 	key := fmt.Sprintf("%s|%s|%s|%v|rec", s.datasetKey(k.ds), k.reorder, k.app, k.layout)
 	rec, err := s.traces.doTransient(key, func() (recording, error) {
-		return s.recordTrace(k, 0)
+		return s.recordTrace(key, k, 0)
 	})
+	if err == nil {
+		s.touchRecording(key)
+	}
 	return rec, err
 }
 
@@ -456,8 +613,11 @@ func (s *Session) record(k groupKey) (recording, error) {
 func (s *Session) cappedRecord(k groupKey) (recording, error) {
 	key := fmt.Sprintf("%s|%s|%s|%v|rec%d", s.datasetKey(k.ds), k.reorder, k.app, k.layout, optTraceCap)
 	rec, err := s.traces.doTransient(key, func() (recording, error) {
-		return s.recordTrace(k, optTraceCap)
+		return s.recordTrace(key, k, optTraceCap)
 	})
+	if err == nil {
+		s.touchRecording(key)
+	}
 	return rec, err
 }
 
@@ -471,13 +631,16 @@ func (s *Session) optRecording(k groupKey) (recording, error) {
 	return s.cappedRecord(k)
 }
 
-// recordTrace executes one recording run (limit <= 0: full stream).
-func (s *Session) recordTrace(k groupKey, limit int64) (recording, error) {
+// recordTrace executes one recording run (limit <= 0: full stream) and
+// registers the finished trace under key in the recording byte budget.
+func (s *Session) recordTrace(key string, k groupKey, limit int64) (recording, error) {
 	w, err := s.Workload(k.ds, k.reorder, k.app == "SSSP")
 	if err != nil {
 		return recording{}, err
 	}
+	start := time.Now()
 	tr, err := sim.RecordTraceN(w, k.app, k.layout, s.Cfg.HCfg, limit)
+	s.phase.record.Add(int64(time.Since(start)))
 	if err != nil {
 		return recording{}, err
 	}
@@ -487,7 +650,36 @@ func (s *Session) recordTrace(k groupKey, limit int64) (recording, error) {
 		return recording{}, err
 	}
 	s.noteFileBytes(k.ds, tr.ResidentBytes())
-	return recording{tr: tr, bounds: bounds}, nil
+	rec := recording{tr: tr, bounds: bounds}
+	s.registerRecording(key, rec)
+	return rec, nil
+}
+
+// withRecording runs fn with a PINNED recording of the group — the full
+// stream, or the OPT-capped variant via optRecording — so a concurrent
+// budget eviction cannot reclaim the trace mid-replay. Losing the pin
+// race (the cached recording was evicted and released between lookup and
+// pin) retries: the eviction also removed the cache entry, so the next
+// lookup re-records.
+func (s *Session) withRecording(k groupKey, capped bool, fn func(rec recording) error) error {
+	for {
+		var rec recording
+		var err error
+		if capped {
+			rec, err = s.optRecording(k)
+		} else {
+			rec, err = s.record(k)
+		}
+		if err != nil {
+			return err
+		}
+		if !rec.tr.Pin() {
+			continue
+		}
+		err = fn(rec)
+		rec.tr.Unpin()
+		return err
+	}
 }
 
 // traceReady reports whether the group's FULL recording is already cached
@@ -504,15 +696,19 @@ func (s *Session) traceReady(k groupKey) bool {
 // returned slice; in-tree consumers replay the recording directly
 // (runOPTStudy via optRecording) and never pay this decode per datapoint.
 func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
-	rec, err := s.optRecording(groupKey{ds: dsName, reorder: "DBG", app: app, layout: apps.LayoutMerged})
+	var addrs []uint64
+	var bounds [][2]uint64
+	err := s.withRecording(groupKey{ds: dsName, reorder: "DBG", app: app, layout: apps.LayoutMerged}, true,
+		func(rec recording) error {
+			var derr error
+			addrs, derr = rec.tr.Addrs(optTraceCap)
+			bounds = rec.bounds
+			return derr
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	addrs, err := rec.tr.Addrs(optTraceCap)
-	if err != nil {
-		return nil, nil, err
-	}
-	return addrs, rec.bounds, nil
+	return addrs, bounds, nil
 }
 
 // Workload returns the prepared (dataset, reorder) pair, preparing and
@@ -530,7 +726,9 @@ func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Work
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		w, err := sim.PrepareWorkloadOn(g, ds, reorderName, weighted)
+		s.phase.reorder.Add(int64(time.Since(start)))
 		if err != nil {
 			return nil, err
 		}
@@ -549,7 +747,9 @@ func (s *Session) Workload(dsName, reorderName string, weighted bool) (*sim.Work
 func (s *Session) baseGraph(dsName string, ds graph.Dataset, weighted bool) (*graph.CSR, error) {
 	key := fmt.Sprintf("%s|%v|base", s.datasetKey(dsName), weighted)
 	return s.bases.do(key, func() (*graph.CSR, error) {
+		start := time.Now()
 		g, err := ds.Load(weighted, s.Cfg.ScaleDiv)
+		s.phase.load.Add(int64(time.Since(start)))
 		if err != nil {
 			return nil, err
 		}
@@ -568,14 +768,18 @@ func (s *Session) Result(dsName, reorderName, app string, layout apps.Layout, po
 	return s.result(p, s.traceReady(p.group()))
 }
 
+// resultKey renders the result-cache key of one datapoint.
+func (s *Session) resultKey(p Datapoint) string {
+	return fmt.Sprintf("%s|%s|%s|%v|%s", s.datasetKey(p.DS), p.Reorder, p.App, p.Layout, p.Policy)
+}
+
 // result computes one result datapoint, replaying the group's shared
 // recording when viaTrace is set (recording it first if need be).
 func (s *Session) result(p Datapoint, viaTrace bool) (sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|%s|%v|%s", s.datasetKey(p.DS), p.Reorder, p.App, p.Layout, p.Policy)
 	// doTransient: the replay path can fail environmentally (spill I/O),
 	// and a failed result must not be served from cache for the session's
 	// lifetime; deterministic failures just recompute cheaply on request.
-	return s.results.doTransient(key, func() (sim.Result, error) {
+	return s.results.doTransient(s.resultKey(p), func() (sim.Result, error) {
 		weighted := p.App == "SSSP"
 		w, err := s.Workload(p.DS, p.Reorder, weighted)
 		if err != nil {
@@ -583,15 +787,25 @@ func (s *Session) result(p Datapoint, viaTrace bool) (sim.Result, error) {
 		}
 		spec := sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
 		if viaTrace {
-			rec, err := s.record(p.group())
+			var r sim.Result
+			err := s.withRecording(p.group(), false, func(rec recording) error {
+				start := time.Now()
+				var rerr error
+				r, rerr = sim.ReplayResult(rec.tr, spec, w.Dataset.Name, rec.bounds)
+				s.phase.replay.Add(int64(time.Since(start)))
+				return rerr
+			})
 			if err != nil {
 				return sim.Result{}, err
 			}
 			s.simRuns.Add(1)
-			return sim.ReplayResult(rec.tr, spec, w.Dataset.Name, rec.bounds)
+			return r, nil
 		}
 		s.simRuns.Add(1)
-		return sim.Run(w, spec)
+		start := time.Now()
+		r, err := sim.Run(w, spec)
+		s.phase.direct.Add(int64(time.Since(start)))
+		return r, err
 	})
 }
 
@@ -644,9 +858,11 @@ func (s *Session) Prefetch(points []Datapoint) error {
 // onProgress is invoked with the number done so far and the batch total.
 // It is called concurrently from the worker pool, so it must be
 // goroutine-safe; `done` values are each delivered exactly once but may
-// arrive out of order. A nil onProgress makes this identical to Prefetch.
-// Long-running callers (the graspd job service) use the callback to
-// surface per-job completion percentages while a batch is in flight.
+// arrive out of order (a broadcast group delivers all of its datapoints
+// when the group's fan-out completes). A nil onProgress makes this
+// identical to Prefetch. Long-running callers (the graspd job service)
+// use the callback to surface per-job completion percentages while a
+// batch is in flight.
 func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, total int)) error {
 	uniq := points
 	if len(points) > 1 {
@@ -659,6 +875,32 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 			}
 		}
 	}
+	// Phase 0 — dataset-parallel workload preparation: fan the batch's
+	// DISTINCT (dataset, reorder) workloads out over the pool before any
+	// recording or simulation is scheduled. At full scale the expensive
+	// reorderings (one Gorder pass per dataset) are the longest-pole
+	// inputs of the recording phase; preparing them all up front lets a
+	// multi-core host reorder every dataset concurrently instead of
+	// discovering each reordering serially behind a recording slot.
+	// Errors are dropped here — the memo caches them, and they re-surface
+	// attributed to the first datapoint that needs the failed workload.
+	type workloadKey struct {
+		ds, reorder string
+		weighted    bool
+	}
+	seenW := make(map[workloadKey]bool, len(uniq))
+	var warm []workloadKey
+	for _, p := range uniq {
+		g := p.group()
+		wk := workloadKey{ds: g.ds, reorder: g.reorder, weighted: g.app == "SSSP"}
+		if !seenW[wk] {
+			seenW[wk] = true
+			warm = append(warm, wk)
+		}
+	}
+	forEachParallel(len(warm), func(i int) {
+		_, _ = s.Workload(warm[i].ds, warm[i].reorder, warm[i].weighted)
+	})
 	// Group the result datapoints; groups with several consumers of one
 	// execution — two or more policies, or a policy plus a declared trace
 	// — or whose full recording already exists go through the replay
@@ -677,44 +919,74 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 	for k, n := range counts {
 		replayGroup[k] = n > 1 || declaredTrace[k] || s.traceReady(k)
 	}
-	// Schedule recordings first: declared traces and one representative
-	// point per replay group, then everything else.
-	order := make([]int, 0, len(uniq))
-	rest := make([]int, 0, len(uniq))
-	leads := make(map[groupKey]bool, len(counts))
+	// Build the schedule. Each replay group becomes ONE broadcast unit:
+	// the recording (the expensive application execution) followed by a
+	// single decode-once fan-out serving every policy of the group — and
+	// its declared trace, if any — so an N-policy group pays one decode
+	// instead of N and its replays run concurrently even inside one
+	// worker slot (DESIGN.md Sec. 12). Trace-only groups record their
+	// bounded prefix; everything else runs execution-driven as its own
+	// unit. Units carrying a recording are scheduled first, so the worker
+	// pool starts every application execution as early as possible.
+	const (
+		unitBroadcast = iota
+		unitTraceOnly
+		unitSingle
+	)
+	type unit struct {
+		kind  int
+		group groupKey
+		pts   []int // indices into uniq, batch order
+	}
+	var recUnits, restUnits []*unit
+	byGroup := make(map[groupKey]*unit)
 	for i, p := range uniq {
 		k := p.group()
-		if p.Trace || (replayGroup[k] && !leads[k]) {
-			leads[k] = true
-			order = append(order, i)
-			continue
+		switch {
+		case replayGroup[k]:
+			u := byGroup[k]
+			if u == nil {
+				u = &unit{kind: unitBroadcast, group: k}
+				byGroup[k] = u
+				recUnits = append(recUnits, u)
+			}
+			u.pts = append(u.pts, i)
+		case p.Trace:
+			u := byGroup[k]
+			if u == nil {
+				u = &unit{kind: unitTraceOnly, group: k}
+				byGroup[k] = u
+				recUnits = append(recUnits, u)
+			}
+			u.pts = append(u.pts, i)
+		default:
+			restUnits = append(restUnits, &unit{kind: unitSingle, group: k, pts: []int{i}})
 		}
-		rest = append(rest, i)
 	}
-	order = append(order, rest...)
+	units := append(recUnits, restUnits...)
 	errs := make([]error, len(uniq))
 	var completed atomic.Int64
-	forEachParallel(len(order), func(j int) {
-		i := order[j]
-		p := uniq[i]
-		if p.Trace {
-			// When the group replays anyway its full recording serves the
-			// trace too (shared via singleflight with the group lead);
-			// trace-only groups record just the bounded prefix the OPT
-			// study consumes.
-			var err error
-			if replayGroup[p.group()] {
-				_, err = s.record(p.group())
-			} else {
-				_, err = s.optRecording(p.group())
-			}
-			errs[i] = err
-		} else {
-			_, err := s.result(p, replayGroup[p.group()])
-			errs[i] = err
-		}
+	note := func(i int, err error) {
+		errs[i] = err
 		if onProgress != nil {
 			onProgress(int(completed.Add(1)), len(uniq))
+		}
+	}
+	forEachParallel(len(units), func(j int) {
+		u := units[j]
+		switch u.kind {
+		case unitBroadcast:
+			s.broadcastUnit(u.group, u.pts, uniq, note)
+		case unitTraceOnly:
+			// Trace-only groups record just the bounded prefix the OPT
+			// study consumes.
+			_, err := s.optRecording(u.group)
+			for _, i := range u.pts {
+				note(i, err)
+			}
+		case unitSingle:
+			_, err := s.result(uniq[u.pts[0]], false)
+			note(u.pts[0], err)
 		}
 	})
 	for _, err := range errs {
@@ -723,6 +995,68 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 		}
 	}
 	return nil
+}
+
+// broadcastUnit serves one replay group of a Prefetch batch: it obtains
+// the group's full recording and fans ONE decode pass out to every
+// not-yet-cached policy result of the group, publishing each through the
+// singleflight result cache (so concurrent Result callers and later
+// requests share them; if another goroutine is already computing one of
+// the keys, its outcome wins — identical by the replay-equivalence
+// invariant). A declared trace point of the group is satisfied by the
+// recording itself. note is invoked exactly once per point.
+func (s *Session) broadcastUnit(k groupKey, ptIdx []int, uniq []Datapoint, note func(i int, err error)) {
+	pointErr := make(map[int]error)
+	uerr := s.withRecording(k, false, func(rec recording) error {
+		var pending []int
+		for _, i := range ptIdx {
+			if uniq[i].Trace || s.results.ready(s.resultKey(uniq[i])) {
+				continue
+			}
+			// Validate the policy up front so one bad name fails only its
+			// own datapoint (as a sequential pass would), not the fan-out.
+			if _, err := sim.PolicyByName(uniq[i].Policy); err != nil {
+				pointErr[i] = err
+				continue
+			}
+			pending = append(pending, i)
+		}
+		if len(pending) == 0 {
+			return nil
+		}
+		w, err := s.Workload(k.ds, k.reorder, k.app == "SSSP")
+		if err != nil {
+			return err
+		}
+		specs := make([]sim.Spec, len(pending))
+		for j, i := range pending {
+			p := uniq[i]
+			specs[j] = sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
+		}
+		start := time.Now()
+		results, err := sim.BroadcastResults(rec.tr, specs, w.Dataset.Name, rec.bounds)
+		s.phase.replay.Add(int64(time.Since(start)))
+		if err != nil {
+			return err
+		}
+		s.broadcasts.Add(1)
+		for j, i := range pending {
+			r := results[j]
+			_, derr := s.results.doTransient(s.resultKey(uniq[i]), func() (sim.Result, error) {
+				s.simRuns.Add(1)
+				return r, nil
+			})
+			pointErr[i] = derr
+		}
+		return nil
+	})
+	for _, i := range ptIdx {
+		err := uerr
+		if err == nil {
+			err = pointErr[i]
+		}
+		note(i, err)
+	}
 }
 
 // forEachParallel invokes work(i) for every i in [0, n) from a pool of at

@@ -3,9 +3,11 @@ package exp
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"grasp/internal/apps"
 	"grasp/internal/cache"
+	"grasp/internal/mem"
 	"grasp/internal/policy"
 	"grasp/internal/sim"
 	"grasp/internal/stats"
@@ -22,12 +24,14 @@ type optDatapoint struct {
 }
 
 // runOPTStudy obtains the shared LLC recording of every (app, high-skew
-// dataset) pair under DBG reordering and replays its bounded prefix under
-// LRU, RRIP and GRASP plus Belady's OPT at the given LLC size. The
-// per-pair work (recording via the session's singleflight cache, then four
-// independent replays straight off the encoded trace) fans out over the
-// worker pool; results land in a keyed map, so the consuming experiments
-// iterate them in deterministic order regardless of completion order.
+// dataset) pair under DBG reordering and evaluates its bounded prefix
+// under LRU, RRIP and GRASP plus Belady's OPT at the given LLC size. Each
+// pair rides the broadcast decoder: ONE decode pass over the capped
+// prefix feeds the three policy LLCs and the block-address stream that
+// OPT consumes, instead of four independent decodes (DESIGN.md Sec. 12).
+// Pairs fan out over the worker pool; results land in a keyed map, so the
+// consuming experiments iterate them in deterministic order regardless of
+// completion order.
 func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, error) {
 	rripInfo, _ := sim.PolicyByName("RRIP")
 	graspInfo, _ := sim.PolicyByName("GRASP")
@@ -43,35 +47,53 @@ func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, e
 	errs := make([]error, len(pairs))
 	forEachParallel(len(pairs), func(i int) {
 		app, ds := pairs[i].app, pairs[i].ds
-		rec, err := s.optRecording(groupKey{ds: ds, reorder: "DBG", app: app, layout: apps.LayoutMerged})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		var dp optDatapoint
-		for _, rp := range []struct {
-			misses *uint64
-			pinfo  sim.PolicyInfo
-			abrs   [][2]uint64
-		}{
-			{&dp.lru, lruInfo, nil},
-			{&dp.rrip, rripInfo, nil},
-			{&dp.grasp, graspInfo, rec.bounds},
-		} {
-			st, err := sim.ReplayStats(rec.tr, llcCfg, rp.pinfo, rp.abrs, optTraceCap)
-			if err != nil {
-				errs[i] = err
-				return
+		k := groupKey{ds: ds, reorder: "DBG", app: app, layout: apps.LayoutMerged}
+		errs[i] = s.withRecording(k, true, func(rec recording) error {
+			replays := []struct {
+				misses *uint64
+				pinfo  sim.PolicyInfo
+				abrs   [][2]uint64
+			}{
+				{&dps[i].lru, lruInfo, nil},
+				{&dps[i].rrip, rripInfo, nil},
+				{&dps[i].grasp, graspInfo, rec.bounds},
 			}
-			*rp.misses = st.Misses
-		}
-		blocks, err := rec.tr.Blocks(optTraceCap)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		dp.opt = policy.SimulateOPT(blocks, llcCfg.Sets(), llcCfg.Ways).Misses
-		dps[i] = dp
+			llcs := make([]*cache.Cache, len(replays))
+			consumers := make([]func([]mem.Access), 0, len(replays)+1)
+			for j, rp := range replays {
+				llc, err := sim.NewReplayLLC(llcCfg, rp.pinfo, rp.abrs)
+				if err != nil {
+					return err
+				}
+				llcs[j] = llc
+				consumers = append(consumers, func(accs []mem.Access) {
+					for _, a := range accs {
+						llc.Access(a)
+					}
+				})
+			}
+			n := rec.tr.Len()
+			if n > optTraceCap {
+				n = optTraceCap
+			}
+			blocks := make([]uint64, 0, n)
+			consumers = append(consumers, func(accs []mem.Access) {
+				for _, a := range accs {
+					blocks = append(blocks, cache.BlockAddr(a.Addr))
+				}
+			})
+			start := time.Now()
+			err := rec.tr.BroadcastN(optTraceCap, consumers)
+			s.phase.replay.Add(int64(time.Since(start)))
+			if err != nil {
+				return err
+			}
+			for j, rp := range replays {
+				*rp.misses = llcs[j].Stats.Misses
+			}
+			dps[i].opt = policy.SimulateOPT(blocks, llcCfg.Sets(), llcCfg.Ways).Misses
+			return nil
+		})
 	})
 	out := make(map[[2]string]optDatapoint, len(pairs))
 	for i, p := range pairs {

@@ -23,6 +23,7 @@ import (
 	"grasp/internal/apps"
 	"grasp/internal/exp"
 	"grasp/internal/graph"
+	"grasp/internal/trace"
 )
 
 // Job states reported by Status.
@@ -160,6 +161,7 @@ type Manager struct {
 	mu            sync.Mutex
 	sessions      map[uint32]*exp.Session // one simulation session per scale divisor
 	sessionBudget int64                   // FileBytesBudget for future sessions; 0 = exp default
+	traceBudget   int64                   // TraceBytesBudget for future sessions; 0 = exp default
 	byID          map[string]*Job
 	byHash        map[string]*Job // in-flight (queued/running) jobs only
 	retired       []string        // terminal job IDs, oldest first, for bounded retention
@@ -282,6 +284,18 @@ func (m *Manager) SetSessionFileBudget(n int64) {
 	m.mu.Unlock()
 }
 
+// SetSessionTraceBudget overrides the per-session cap on cached
+// recordings' encoded bytes (exp.Config.TraceBytesBudget) applied to
+// sessions created afterwards; n = 0 keeps the exp default, negative
+// disables the cap. Bounding cached recordings bounds the temp-disk spill
+// files a long-lived daemon can accumulate (DESIGN.md Sec. 11). Like the
+// file budget, it never enters job hashes.
+func (m *Manager) SetSessionTraceBudget(n int64) {
+	m.mu.Lock()
+	m.traceBudget = n
+	m.mu.Unlock()
+}
+
 // sessionFor returns the simulation session for one scale divisor,
 // creating it on first use. Sessions persist for the manager's lifetime,
 // so every job at a given scale shares workloads, results and traces;
@@ -297,6 +311,7 @@ func (m *Manager) sessionFor(scale uint32) *exp.Session {
 	if !ok {
 		cfg := configForScale(scale)
 		cfg.FileBytesBudget = m.sessionBudget
+		cfg.TraceBytesBudget = m.traceBudget
 		s = exp.NewSession(cfg)
 		m.sessions[scale] = s
 	}
@@ -476,6 +491,17 @@ type Metrics struct {
 	// SimRuns is the number of distinct sim.Run invocations across all
 	// sessions (the engine-level dedup observability counter).
 	SimRuns uint64
+	// BroadcastGroups counts recording groups served through the
+	// decode-once broadcast path across all sessions; BroadcastReplays is
+	// the process-wide count of completed broadcast fan-outs and
+	// BroadcastConsumers the total replays they served (trace-engine
+	// counters, also covering the OPT study's capped-prefix fan-outs).
+	// Together with SimRuns these expose whether multi-policy sweeps are
+	// actually riding the broadcast decoder.
+	BroadcastGroups, BroadcastReplays, BroadcastConsumers uint64
+	// TraceBytesRetained is the total encoded bytes of recordings cached
+	// across all sessions (bounded per session by the trace budget).
+	TraceBytesRetained int64
 	// CachedGraphFiles is the registry's count of parsed file graphs
 	// shared across requests.
 	CachedGraphFiles int
@@ -483,13 +509,21 @@ type Metrics struct {
 
 // Metrics returns a snapshot of the manager's counters.
 func (m *Manager) Metrics() Metrics {
-	var simRuns uint64
+	var simRuns, broadcastGroups uint64
+	var traceBytes int64
 	m.mu.Lock()
 	for _, s := range m.sessions {
 		simRuns += s.SimRuns()
+		broadcastGroups += s.Broadcasts()
+		traceBytes += s.TraceBytesRetained()
 	}
 	m.mu.Unlock()
+	broadcastReplays, broadcastConsumers := trace.BroadcastStats()
 	return Metrics{
+		BroadcastGroups:    broadcastGroups,
+		BroadcastReplays:   broadcastReplays,
+		BroadcastConsumers: broadcastConsumers,
+		TraceBytesRetained: traceBytes,
 		Submitted:        m.submitted.Load(),
 		Executed:         m.executed.Load(),
 		Completed:        m.completed.Load(),

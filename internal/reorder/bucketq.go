@@ -1,0 +1,157 @@
+package reorder
+
+import "math/bits"
+
+// vertexBucketQueue is the unit-increment priority structure behind
+// Gorder's greedy loop: it holds every unplaced vertex keyed by its
+// current locality score and supports
+//
+//	increment(v)  score[v]++           O(1)
+//	decrement(v)  score[v]--           O(1)
+//	popMax()      remove and return    O(1) amortized
+//
+// where popMax returns the LOWEST vertex id among those sharing the
+// maximum score — the documented deterministic tie-break of this
+// implementation (DESIGN.md Sec. 12). Scores only move by ±1 (a window
+// insertion or eviction touches each affected vertex once per shared
+// structural feature), which is what makes constant-time bucket moves
+// possible; the lazy-deletion heap this replaces churned ~1700 O(log n)
+// push/pops per placed vertex at reproduction scale.
+//
+// Each score bucket is a hierarchical bitmap over vertex ids (64-way
+// fan-out per level), not a linked list: the id tie-break needs "lowest
+// set id" in O(levels) = O(log64 n) ≤ 4 word probes, where a linked bucket
+// would pay O(bucket size) per pop to find it (the initial all-zero bucket
+// alone holds every vertex). Set/clear touch the same ≤4 words, so bucket
+// moves stay constant-time. Buckets materialize lazily on first use: the
+// greedy loop only ever reaches scores bounded by the window's structural
+// overlap, so the bucket array stays short.
+type vertexBucketQueue struct {
+	score   []int32
+	buckets []idBitmap
+	max     int32
+}
+
+// newVertexBucketQueue builds the queue over vertices [0, n), all at
+// score 0.
+func newVertexBucketQueue(n uint32) *vertexBucketQueue {
+	q := &vertexBucketQueue{score: make([]int32, n)}
+	q.bucket(0)
+	for v := uint32(0); v < n; v++ {
+		q.buckets[0].add(v)
+	}
+	return q
+}
+
+// bucket returns the bitmap for score s, materializing buckets up to s.
+func (q *vertexBucketQueue) bucket(s int32) *idBitmap {
+	for int32(len(q.buckets)) <= s {
+		q.buckets = append(q.buckets, newIDBitmap(uint32(len(q.score))))
+	}
+	return &q.buckets[s]
+}
+
+// increment moves v one bucket up.
+func (q *vertexBucketQueue) increment(v uint32) {
+	s := q.score[v]
+	q.buckets[s].remove(v)
+	q.score[v] = s + 1
+	q.bucket(s + 1).add(v)
+	if s+1 > q.max {
+		q.max = s + 1
+	}
+}
+
+// decrement moves v one bucket down. Scores never go negative: a window
+// eviction only reverses increments its insertion applied to
+// still-unplaced vertices.
+func (q *vertexBucketQueue) decrement(v uint32) {
+	s := q.score[v]
+	q.buckets[s].remove(v)
+	q.score[v] = s - 1
+	q.buckets[s-1].add(v)
+}
+
+// popMax removes and returns the lowest-id vertex of the highest
+// non-empty bucket. The max cursor only descends here (and rises in
+// increment), so the total walk is bounded by the total number of
+// increments. Must not be called on an empty queue — Gorder pops exactly
+// n times over n held vertices.
+func (q *vertexBucketQueue) popMax() uint32 {
+	for q.buckets[q.max].empty() {
+		q.max--
+	}
+	v, _ := q.buckets[q.max].min()
+	q.buckets[q.max].remove(v)
+	return v
+}
+
+// idBitmap is a hierarchical (64-way) bitmap over vertex ids supporting
+// O(log64 n) add, remove, emptiness and minimum queries. levels[0] holds
+// one bit per id; each higher level holds one summary bit per word below,
+// so min() walks at most four levels for any graph that fits in uint32
+// ids.
+type idBitmap struct {
+	levels [][]uint64
+}
+
+// newIDBitmap builds an empty bitmap sized for ids [0, n).
+func newIDBitmap(n uint32) idBitmap {
+	var levels [][]uint64
+	words := (int(n) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	for {
+		levels = append(levels, make([]uint64, words))
+		if words == 1 {
+			break
+		}
+		words = (words + 63) / 64
+	}
+	return idBitmap{levels: levels}
+}
+
+// add sets id's bit, propagating summary bits upward.
+func (b *idBitmap) add(id uint32) {
+	i := id
+	for l := range b.levels {
+		w, bit := i/64, i%64
+		old := b.levels[l][w]
+		b.levels[l][w] = old | 1<<bit
+		if old != 0 {
+			return // summary above already set
+		}
+		i = w
+	}
+}
+
+// remove clears id's bit, clearing summary bits that become empty.
+func (b *idBitmap) remove(id uint32) {
+	i := id
+	for l := range b.levels {
+		w, bit := i/64, i%64
+		b.levels[l][w] &^= 1 << bit
+		if b.levels[l][w] != 0 {
+			return
+		}
+		i = w
+	}
+}
+
+// empty reports whether no id is set.
+func (b *idBitmap) empty() bool {
+	return b.levels[len(b.levels)-1][0] == 0
+}
+
+// min returns the lowest set id, walking the summary levels top-down.
+func (b *idBitmap) min() (uint32, bool) {
+	if b.empty() {
+		return 0, false
+	}
+	w := uint32(0)
+	for l := len(b.levels) - 1; l >= 0; l-- {
+		w = w*64 + uint32(bits.TrailingZeros64(b.levels[l][w]))
+	}
+	return w, true
+}

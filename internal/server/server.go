@@ -176,6 +176,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("result_store_hits_total", "Submissions served from the persistent result store.", m.StoreHits)
 	counter("inflight_dedup_hits_total", "Submissions merged onto an identical in-flight job.", m.DedupHits)
 	counter("sim_runs_total", "Distinct sim.Run invocations across all sessions.", m.SimRuns)
+	counter("broadcast_groups_total", "Recording groups served via decode-once broadcast replay.", m.BroadcastGroups)
+	counter("broadcast_replays_total", "Completed broadcast fan-outs (incl. OPT-study prefix replays).", m.BroadcastReplays)
+	counter("broadcast_consumers_total", "Total replays served by broadcast fan-outs.", m.BroadcastConsumers)
+	gauge("trace_bytes_retained", "Encoded bytes of recordings cached across sessions.", float64(m.TraceBytesRetained))
 	gauge("jobs_queued", "Jobs waiting for a worker.", float64(m.Queued))
 	gauge("jobs_running", "Jobs currently simulating.", float64(m.Running))
 	gauge("stored_outcomes", "Outcomes in the persistent result store.", float64(m.StoredOutcomes))

@@ -77,6 +77,111 @@ func TestReplayMatchesDirect(t *testing.T) {
 	}
 }
 
+// TestBroadcastMatchesDirect extends the replay-equivalence suite to the
+// decode-once broadcast path: for every registered policy and the same
+// application spread, the Results of ONE BroadcastResults fan-out over
+// all policies at once must be identical to direct execution-driven
+// simulation. This is the invariant that lets exp.Session serve a whole
+// Prefetch group from a single decode.
+func TestBroadcastMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep skipped in -short mode")
+	}
+	ds, err := graph.DatasetByName("lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := replayTestHCfg()
+	for _, appName := range []string{"BFS", "PR", "KCore"} {
+		appName := appName
+		t.Run(appName, func(t *testing.T) {
+			t.Parallel()
+			w, err := PrepareWorkload(ds, "DBG", false, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := RecordTrace(w, appName, apps.LayoutMerged, hcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Release()
+			bounds, err := ABRBoundsFor(w, appName, apps.LayoutMerged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs := make([]Spec, len(Policies()))
+			for i, pinfo := range Policies() {
+				specs[i] = Spec{App: appName, Layout: apps.LayoutMerged, Policy: pinfo.Name, HCfg: hcfg}
+			}
+			broadcast, err := BroadcastResults(tr, specs, w.Dataset.Name, bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, spec := range specs {
+				direct, err := Run(w, spec)
+				if err != nil {
+					t.Fatalf("%s: direct: %v", spec.Policy, err)
+				}
+				got := broadcast[i]
+				got.AppTime = direct.AppTime
+				if direct != got {
+					t.Errorf("%s: broadcast replay diverges from direct simulation\ndirect:    %+v\nbroadcast: %+v",
+						spec.Policy, direct, got)
+				}
+			}
+		})
+	}
+}
+
+// TestBroadcastMatchesDirectAcrossGeometries fans one recording out to
+// several LLC geometries in a single decode pass — the Table VII shape —
+// and checks each against a direct run with that geometry.
+func TestBroadcastMatchesDirectAcrossGeometries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep skipped in -short mode")
+	}
+	ds, err := graph.DatasetByName("kr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := PrepareWorkload(ds, "DBG", false, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := replayTestHCfg()
+	tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	bounds, err := ABRBoundsFor(w, "PR", apps.LayoutMerged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []Spec
+	for _, size := range []uint64{2 << 10, 4 << 10, 8 << 10} {
+		cfg := hcfg
+		cfg.LLC = cache.Config{SizeBytes: size, Ways: 16}
+		specs = append(specs, Spec{App: "PR", Layout: apps.LayoutMerged, Policy: "GRASP", HCfg: cfg})
+	}
+	broadcast, err := BroadcastResults(tr, specs, w.Dataset.Name, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		direct, err := Run(w, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := broadcast[i]
+		got.AppTime = direct.AppTime
+		if direct != got {
+			t.Errorf("LLC %dKB: broadcast replay diverges\ndirect:    %+v\nbroadcast: %+v",
+				spec.HCfg.LLC.SizeBytes>>10, direct, got)
+		}
+	}
+}
+
 // TestReplayMatchesDirectAcrossGeometries replays one recording at several
 // LLC sizes and checks each against a direct run with that geometry — the
 // Table VII use case (one trace, many cache sizes).

@@ -15,6 +15,7 @@ import (
 	"grasp/internal/core"
 	"grasp/internal/graph"
 	"grasp/internal/ligra"
+	"grasp/internal/mem"
 	"grasp/internal/policy"
 	"grasp/internal/reorder"
 	"grasp/internal/trace"
@@ -218,11 +219,13 @@ func RecordTraceN(w *Workload, appName string, layout apps.Layout, hcfg cache.Hi
 	return rec.Finish(time.Since(start))
 }
 
-// newReplayLLC builds a standalone LLC of the given geometry with the
+// NewReplayLLC builds a standalone LLC of the given geometry with the
 // policy and, for hint-consuming policies, a classifier programmed from
 // recorded ABR bounds (in SetArray order, so region sizing matches the
-// recording run).
-func newReplayLLC(llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) (*cache.Cache, error) {
+// recording run). It is exported for consumers composing their own
+// broadcast-replay fan-outs (the OPT study feeds several such LLCs plus a
+// block collector from one decode pass).
+func NewReplayLLC(llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) (*cache.Cache, error) {
 	llc, err := cache.New(llcCfg, pinfo.New(llcCfg.Sets(), llcCfg.Ways))
 	if err != nil {
 		return nil, err
@@ -253,7 +256,7 @@ func ReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][
 	if err != nil {
 		return Result{}, err
 	}
-	llc, err := newReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
+	llc, err := NewReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
 	if err != nil {
 		return Result{}, err
 	}
@@ -271,10 +274,12 @@ func ReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][
 
 // ReplayStats replays at most limit accesses (limit <= 0: all) of a
 // recorded trace through an LLC of the given geometry and policy,
-// returning its stats. The Fig. 11 / Table VII experiments evaluate many
-// LLC sizes per trace this way.
+// returning its stats: the single-replay variant for callers evaluating
+// one (policy, geometry) at a time. Sweeps that evaluate several per
+// trace (the Fig. 11 / Table VII OPT study) instead compose NewReplayLLC
+// with trace.Trace.BroadcastN so the decode is paid once.
 func ReplayStats(tr *trace.Trace, llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64, limit int64) (cache.Stats, error) {
-	llc, err := newReplayLLC(llcCfg, pinfo, abrArrays)
+	llc, err := NewReplayLLC(llcCfg, pinfo, abrArrays)
 	if err != nil {
 		return cache.Stats{}, err
 	}
@@ -282,6 +287,49 @@ func ReplayStats(tr *trace.Trace, llcCfg cache.Config, pinfo PolicyInfo, abrArra
 		return cache.Stats{}, err
 	}
 	return llc.Stats, nil
+}
+
+// BroadcastResults produces the Results of several policies' datapoints
+// from ONE decode pass over a recorded trace: each spec gets its own
+// replay LLC, and trace.Broadcast fans every decoded slab out to all of
+// them concurrently. Each returned Result is identical to what ReplayResult
+// — and therefore Run — would produce for the same spec; an N-policy sweep
+// just pays one decode instead of N, and the N LLC simulations overlap on
+// multi-core hosts. The specs may differ in policy AND LLC geometry (the
+// recording is valid for any LLC configuration).
+func BroadcastResults(tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64) ([]Result, error) {
+	llcs := make([]*cache.Cache, len(specs))
+	consumers := make([]func([]mem.Access), len(specs))
+	for i, spec := range specs {
+		pinfo, err := PolicyByName(spec.Policy)
+		if err != nil {
+			return nil, err
+		}
+		llc, err := NewReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
+		if err != nil {
+			return nil, err
+		}
+		llcs[i] = llc
+		consumers[i] = func(accs []mem.Access) {
+			for _, a := range accs {
+				llc.Access(a)
+			}
+		}
+	}
+	if err := tr.Broadcast(consumers); err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(specs))
+	for i, spec := range specs {
+		out[i] = Result{
+			Spec:     spec,
+			Workload: workloadName,
+			L1:       tr.L1Stats(), L2: tr.L2Stats(), LLC: llcs[i].Stats,
+			Cycles:  cache.MemoryCyclesOf(spec.HCfg, tr.L1Stats(), tr.L2Stats(), llcs[i].Stats),
+			AppTime: tr.AppTime(),
+		}
+	}
+	return out, nil
 }
 
 // ABRBoundsFor computes the [start, end) bounds of the app's ABR arrays on

@@ -1,0 +1,159 @@
+// Broadcast replay: the decode-once half of the trace engine. A plain
+// ReplayN pays the full decode (spill read-back, word unpacking, delta
+// reconstruction) per replay, so an N-policy sweep of one recording decodes
+// the same encoded stream N times. BroadcastN decodes each chunk exactly
+// once into a slab of mem.Access values and fans the slab out to every
+// consumer, so a group pays one decode regardless of how many policies
+// replay it — and the consumers run on their own goroutines, so the
+// replays of one recording proceed in parallel on multi-core hosts
+// (DESIGN.md Sec. 12).
+//
+// Ownership and recycling: decoded slabs live in a fixed-size ring. The
+// producer takes a free slab, decodes a chunk into it, sets its refcount
+// to the consumer count and hands it to every consumer channel; each
+// consumer drops one reference after applying the slab, and the last drop
+// returns the slab to the ring. The ring bounds decoded-slab memory
+// (slowest consumer applies backpressure through free-slab starvation) and
+// the per-consumer channel capacity equals the ring size, so the producer
+// never blocks on a channel send — only on slab reuse.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// broadcastSlabs is the ring size: enough in-flight slabs that the
+// producer can decode ahead of the consumers, small enough that the
+// decoded working set (broadcastSlabs x chunkWords x sizeof(mem.Access))
+// stays a few MB.
+const broadcastSlabs = 4
+
+// Broadcast counters (process-wide observability): completed broadcast
+// fan-outs and the total consumers they served. The CI bench smoke and the
+// graspd /metrics endpoint read these to assert the decode-once path is
+// actually taken for multi-policy groups.
+var (
+	broadcastRuns      atomic.Uint64
+	broadcastConsumers atomic.Uint64
+)
+
+// BroadcastStats returns the process-wide broadcast counters: how many
+// broadcast replays completed and the total consumers they fanned out to.
+func BroadcastStats() (runs, consumers uint64) {
+	return broadcastRuns.Load(), broadcastConsumers.Load()
+}
+
+// slab is one decoded chunk in flight from the producer to the consumers.
+type slab struct {
+	accs []mem.Access
+	refs atomic.Int32
+}
+
+// Broadcast decodes the whole trace once and fans every decoded slab out
+// to each consumer, which receives the exact access sequence (in recording
+// order, split at chunk boundaries) that a dedicated ReplayN would have
+// decoded for it. Consumers run concurrently with each other and with the
+// decode; each individual consumer is invoked sequentially, so an
+// unsynchronized LLC simulation is a valid consumer.
+func (t *Trace) Broadcast(consumers []func(accs []mem.Access)) error {
+	return t.BroadcastN(0, consumers)
+}
+
+// BroadcastN is Broadcast over at most limit accesses (limit <= 0: all) —
+// the OPT study fans its bounded-prefix replays out this way.
+func (t *Trace) BroadcastN(limit int64, consumers []func(accs []mem.Access)) error {
+	if t.destroyed.Load() {
+		return errReleased
+	}
+	if len(consumers) == 0 {
+		return nil
+	}
+	if limit <= 0 || limit > t.n {
+		limit = t.n
+	}
+	n := len(consumers)
+	free := make(chan *slab, broadcastSlabs)
+	for i := 0; i < broadcastSlabs; i++ {
+		free <- &slab{accs: make([]mem.Access, 0, chunkWords)}
+	}
+	chans := make([]chan *slab, n)
+	for i := range chans {
+		// Capacity = ring size: at most broadcastSlabs slabs exist and a
+		// slab is in each channel at most once, so sends below never block.
+		chans[i] = make(chan *slab, broadcastSlabs)
+	}
+	var wg sync.WaitGroup
+	for i := range consumers {
+		wg.Add(1)
+		go func(ch chan *slab, fn func([]mem.Access)) {
+			defer wg.Done()
+			for s := range ch {
+				fn(s.accs)
+				if s.refs.Add(-1) == 0 {
+					free <- s
+				}
+			}
+		}(chans[i], consumers[i])
+	}
+	var scratch []uint64
+	var buf []byte
+	var lastBlock uint64
+	var done int64
+	var err error
+	for ci := 0; ci < len(t.chunks) && done < limit; ci++ {
+		var words []uint64
+		words, err = t.materialize(ci, &scratch, &buf)
+		if err != nil {
+			break
+		}
+		s := <-free
+		s.accs, lastBlock, done = t.decodeAppend(words, s.accs[:0], lastBlock, done, limit)
+		s.refs.Store(int32(n))
+		for _, ch := range chans {
+			ch <- s
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err == nil {
+		broadcastRuns.Add(1)
+		broadcastConsumers.Add(uint64(n))
+	}
+	return err
+}
+
+// decodeAppend decodes one chunk's words into dst, stopping once done
+// reaches limit, and returns the extended slice plus the block-delta and
+// progress state carried to the next chunk. Chunks never split an escape
+// pair (the recorder seals early), so a chunk always decodes completely
+// given only lastBlock.
+func (t *Trace) decodeAppend(words []uint64, dst []mem.Access, lastBlock uint64, done, limit int64) ([]mem.Access, uint64, int64) {
+	for i := 0; i < len(words) && done < limit; i++ {
+		w := words[i]
+		var block uint64
+		var pc uint32
+		if idx := (w >> pcShift) & pcMask; idx == escapeIdx {
+			pc = uint32(w >> deltaShift)
+			i++
+			block = words[i]
+		} else {
+			pc = t.pcs[idx]
+			block = lastBlock + uint64(int64(w)>>deltaShift)
+		}
+		lastBlock = block
+		dst = append(dst, mem.Access{
+			Addr:     block<<cache.BlockBits | (w>>low6Shift)&low6Mask,
+			PC:       pc,
+			Write:    w&flagWrite != 0,
+			Property: w&flagProp != 0,
+		})
+		done++
+	}
+	return dst, lastBlock, done
+}

@@ -345,16 +345,24 @@ func (r *Recorder) Finish(appTime time.Duration) (*Trace, error) {
 // recording's context: the L1/L2 filter stats (identical for every replay,
 // because the upper levels never see the LLC) and the application
 // execution wall-clock. Replay methods are safe for concurrent use.
+//
+// Lifecycle: the creator owns one implicit reference dropped by Release;
+// replayers that may race with Release (a session evicting cached
+// recordings under a byte budget) bracket their reads with Pin/Unpin. The
+// trace's resources — resident-byte accounting and the spill file — are
+// destroyed when the owner reference is gone AND no pins remain.
 type Trace struct {
-	chunks   []chunk
-	pcs      []uint32
-	n        int64
-	ramBytes int64
-	spilled  int64
-	spill    *os.File
-	l1, l2   cache.Stats
-	appTime  time.Duration
-	released atomic.Bool
+	chunks    []chunk
+	pcs       []uint32
+	n         int64
+	ramBytes  int64
+	spilled   int64
+	spill     *os.File
+	l1, l2    cache.Stats
+	appTime   time.Duration
+	pins      atomic.Int64
+	released  atomic.Bool
+	destroyed atomic.Bool
 }
 
 // Len returns the number of recorded accesses.
@@ -379,14 +387,49 @@ func (t *Trace) L2Stats() cache.Stats { return t.l2 }
 // AppTime returns the wall-clock of the traced application execution.
 func (t *Trace) AppTime() time.Duration { return t.appTime }
 
-// Release returns the trace's resident bytes to the package budget and
-// closes its spill file. It is idempotent and runs automatically when the
-// trace becomes unreachable; replaying a released trace returns an error.
+// Release drops the owner reference: once no Pin is outstanding the
+// trace's resident bytes return to the package budget and its spill file
+// closes. It is idempotent and runs automatically when the trace becomes
+// unreachable; replaying after the resources are gone returns an error.
 func (t *Trace) Release() {
 	if !t.released.CompareAndSwap(false, true) {
 		return
 	}
 	runtime.SetFinalizer(t, nil)
+	if t.pins.Load() == 0 {
+		t.destroy()
+	}
+}
+
+// Pin guards a replay against a concurrent Release (cached-recording
+// eviction): while the pin is held the trace's chunks and spill file stay
+// valid even if the owner releases it. It reports false when the owner
+// reference is already gone — the caller must obtain (re-record) a fresh
+// trace instead. Every successful Pin must be paired with one Unpin.
+func (t *Trace) Pin() bool {
+	t.pins.Add(1)
+	if t.released.Load() {
+		t.Unpin()
+		return false
+	}
+	return true
+}
+
+// Unpin drops a Pin reference, destroying the trace's resources if the
+// owner has released it and this was the last pin.
+func (t *Trace) Unpin() {
+	if t.pins.Add(-1) == 0 && t.released.Load() {
+		t.destroy()
+	}
+}
+
+// destroy reclaims the trace's resources exactly once: Release and the
+// last Unpin can both observe the terminal state, so the actual teardown
+// is CAS-guarded.
+func (t *Trace) destroy() {
+	if !t.destroyed.CompareAndSwap(false, true) {
+		return
+	}
 	memoryInUse.Add(-t.ramBytes)
 	if t.spill != nil {
 		os.Remove(t.spill.Name()) // no-op where unlink-at-create succeeded
@@ -394,7 +437,8 @@ func (t *Trace) Release() {
 	}
 }
 
-// errReleased is returned when replaying a released trace.
+// errReleased is returned when replaying a trace whose resources have been
+// reclaimed (released with no pins outstanding).
 var errReleased = fmt.Errorf("trace: replay of a released trace")
 
 // materialize returns the words of chunk ci: resident chunks are returned as-is
@@ -405,7 +449,7 @@ func (t *Trace) materialize(ci int, scratch *[]uint64, buf *[]byte) ([]uint64, e
 	if c.words != nil {
 		return c.words, nil
 	}
-	if t.released.Load() {
+	if t.destroyed.Load() {
 		return nil, errReleased
 	}
 	need := c.n * 8
@@ -436,7 +480,7 @@ func (t *Trace) Replay(llc *cache.Cache) error { return t.ReplayN(llc, 0) }
 // The OPT study replays the same bounded prefix the dedicated
 // trace-collection path used to record (exp's optTraceCap).
 func (t *Trace) ReplayN(llc *cache.Cache, limit int64) error {
-	if t.released.Load() {
+	if t.destroyed.Load() {
 		return errReleased
 	}
 	if limit <= 0 || limit > t.n {
@@ -482,7 +526,7 @@ func (t *Trace) ReplayN(llc *cache.Cache, limit int64) error {
 // each decodes at most limit accesses (limit <= 0: all) through fn — the
 // cold-path twin of ReplayN for extraction helpers and tests.
 func (t *Trace) each(limit int64, fn func(a mem.Access)) error {
-	if t.released.Load() {
+	if t.destroyed.Load() {
 		return errReleased
 	}
 	if limit <= 0 || limit > t.n {
@@ -551,7 +595,9 @@ func (t *Trace) Addrs(limit int64) ([]uint64, error) {
 }
 
 // Blocks decodes the block addresses of the first limit accesses (limit
-// <= 0: all), the input shape of policy.SimulateOPT.
+// <= 0: all), the input shape of policy.SimulateOPT — a standalone
+// extraction helper; the OPT study itself collects blocks from a
+// BroadcastN consumer so the decode is shared with its policy replays.
 func (t *Trace) Blocks(limit int64) ([]uint64, error) {
 	n := t.n
 	if limit > 0 && limit < n {

@@ -10,9 +10,11 @@
 #                                         # non-zero on a >10% regression
 #                                         # (see tools/benchcmp flags)
 #
-# The JSON records the parallel prefetch phase, per-experiment render
-# times and the total, plus GOMAXPROCS — compare files across PRs to
-# track the perf trajectory.
+# The JSON records the parallel prefetch phase, a per-phase breakdown
+# (load/reorder/record/replay/direct engine time + render), per-
+# experiment render times and the total, plus GOMAXPROCS — compare
+# files across PRs to track the perf trajectory; `compare` prints
+# phase:* delta rows so a regression localizes to a phase.
 set -eu
 caller="$PWD"
 cd "$(dirname "$0")/.."

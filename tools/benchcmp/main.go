@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // entry is one experiment's wall-clock in a snapshot.
@@ -32,13 +33,19 @@ type entry struct {
 
 // snapshot mirrors graspsim's -bench-json record.
 type snapshot struct {
-	Date         string  `json:"date"`
-	Scale        uint    `json:"scale"`
-	GoMaxProcs   int     `json:"gomaxprocs"`
-	PrefetchSec  float64 `json:"prefetch_seconds"`
-	Experiments  []entry `json:"experiments"`
-	TotalSeconds float64 `json:"total_seconds"`
+	Date         string             `json:"date"`
+	Scale        uint               `json:"scale"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	PrefetchSec  float64            `json:"prefetch_seconds"`
+	Phases       map[string]float64 `json:"phases,omitempty"`
+	Experiments  []entry            `json:"experiments"`
+	TotalSeconds float64            `json:"total_seconds"`
 }
+
+// phaseOrder fixes the printed order of the per-phase breakdown: engine
+// phases in pipeline order, then the render sum; unknown phases (from a
+// newer snapshot format) follow alphabetically.
+var phaseOrder = []string{"load", "reorder", "record", "replay", "direct", "render"}
 
 func load(path string) (snapshot, error) {
 	var s snapshot
@@ -59,6 +66,56 @@ func deltaPct(oldS, newS float64) float64 {
 		return 0
 	}
 	return (newS/oldS - 1) * 100
+}
+
+// printPhases renders the per-phase breakdown rows ("phase:replay", ...)
+// when either snapshot carries one, localizing a prefetch regression to
+// reorder/record/replay/... before the per-experiment rows. Phases
+// present on only one side print without a delta (older snapshots predate
+// the breakdown); shared phases go through the same regression gate as
+// experiments.
+func printPhases(oldP, newP map[string]float64, row func(string, float64, float64), check func(string, float64, float64)) {
+	if len(oldP) == 0 && len(newP) == 0 {
+		return
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, n := range phaseOrder {
+		_, inOld := oldP[n]
+		_, inNew := newP[n]
+		if inOld || inNew {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range oldP {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	for n := range newP {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range append(names, extra...) {
+		id := "phase:" + n
+		oldS, inOld := oldP[n]
+		newS, inNew := newP[n]
+		switch {
+		case inOld && inNew:
+			row(id, oldS, newS)
+			check(id, oldS, newS)
+		case inNew:
+			fmt.Printf("%-18s %12s %12.4f %9s\n", id, "-", newS, "new")
+		default:
+			fmt.Printf("%-18s %12.4f %12s %9s\n", id, oldS, "-", "gone")
+		}
+	}
 }
 
 func main() {
@@ -113,6 +170,7 @@ func main() {
 		}
 	}
 	check("prefetch", oldSnap.PrefetchSec, newSnap.PrefetchSec)
+	printPhases(oldSnap.Phases, newSnap.Phases, row, check)
 	for _, e := range newSnap.Experiments {
 		oldS, ok := oldByID[e.ID]
 		if !ok {
