@@ -9,15 +9,22 @@
 //	graspd -addr :9000 -workers 4   # bounded pool of 4 simulation workers
 //	graspd -data /var/lib/graspd    # persistent result store location
 //
-// Endpoints: POST /jobs, GET /jobs/{id}, GET /results/{hash},
-// GET /healthz, GET /metrics. Submit jobs with curl or `graspsim -remote`:
+// Endpoints: POST /jobs, GET /jobs/{id}, DELETE /jobs/{id},
+// GET /results/{hash}, GET /healthz, GET /readyz, GET /metrics. Submit
+// jobs with curl or `graspsim -remote`:
 //
 //	curl -s localhost:8337/jobs -d '{"kind":"single","graph":"lj","app":"PR","policy":"GRASP","scale":64,"wait":true}'
 //	graspsim -remote localhost:8337 -graph lj -app PR -policy GRASP -scale 64
 //
-// On SIGINT/SIGTERM the daemon drains: /healthz flips to 503, new
-// submissions are rejected, running simulations finish (up to
-// -drain-timeout), then the process exits.
+// Accepted jobs are journaled (fsync'd) in the data directory, so a
+// crashed or killed daemon re-enqueues and finishes its backlog on the
+// next boot; -journal=false disables this. The queue depth is bounded
+// (-max-queue) with 503 + Retry-After load shedding, and -rate/-rate-burst
+// add per-client submission rate limiting (429). On SIGINT/SIGTERM the
+// daemon drains: /readyz flips to 503 (while /healthz stays 200 — the
+// liveness/readiness split), new submissions are rejected, running
+// simulations finish (up to -drain-timeout, then they are preempted at
+// the next cancellation point), and the process exits.
 package main
 
 import (
@@ -48,32 +55,83 @@ func main() {
 		"cap (MiB) on parsed file graphs retained by the registry AND per session; 0 = built-in defaults, negative = unlimited")
 	traceCacheMB := flag.Int64("trace-cache-mb", 0,
 		"cap (MiB) on cached LLC recordings' encoded bytes per session (bounds spill temp-disk usage); 0 = built-in default, negative = unlimited")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"default wall-clock budget per job (jobs may set their own timeout_s); 0 = unlimited")
+	maxQueue := flag.Int("max-queue", 1024,
+		"max queued jobs before submissions are shed with 503; 0 = unbounded")
+	rate := flag.Float64("rate", 0,
+		"per-client POST /jobs rate limit in requests/second (429 beyond it); 0 = unlimited")
+	rateBurst := flag.Int("rate-burst", 10, "rate-limit token-bucket burst depth")
+	journal := flag.Bool("journal", true,
+		"journal accepted jobs (fsync'd) so a crashed daemon re-enqueues its backlog on reboot")
 	flag.Parse()
 
 	if *graphCacheMB != 0 {
 		graph.SetFileCacheBudget(*graphCacheMB << 20)
 	}
-	if err := run(*addr, *dataDir, *workers, *drainTimeout, *graphCacheMB<<20, *traceCacheMB<<20); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, dataDir: *dataDir, workers: *workers,
+		drainTimeout: *drainTimeout,
+		sessionBudget: *graphCacheMB << 20, traceBudget: *traceCacheMB << 20,
+		jobTimeout: *jobTimeout, maxQueue: *maxQueue,
+		rate: *rate, rateBurst: *rateBurst, journal: *journal,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "graspd:", err)
 		os.Exit(1)
 	}
 }
 
-// run boots the store, manager and HTTP server, then blocks until a
+// daemonConfig carries the parsed flags into run.
+type daemonConfig struct {
+	addr          string
+	dataDir       string
+	workers       int
+	drainTimeout  time.Duration
+	sessionBudget int64
+	traceBudget   int64
+	jobTimeout    time.Duration
+	maxQueue      int
+	rate          float64
+	rateBurst     int
+	journal       bool
+}
+
+// run boots the store, journal (recovering the previous process's
+// unsettled backlog), manager and HTTP server, then blocks until a
 // termination signal starts the drain sequence.
-func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionBudget, traceBudget int64) error {
-	store, err := jobs.OpenStore(dataDir)
+func run(cfg daemonConfig) error {
+	store, err := jobs.OpenStore(cfg.dataDir)
 	if err != nil {
 		return err
 	}
-	mgr := jobs.NewManager(store, workers)
-	if sessionBudget != 0 {
-		mgr.SetSessionFileBudget(sessionBudget)
+	mgr := jobs.NewManager(store, cfg.workers)
+	if cfg.sessionBudget != 0 {
+		mgr.SetSessionFileBudget(cfg.sessionBudget)
 	}
-	if traceBudget != 0 {
-		mgr.SetSessionTraceBudget(traceBudget)
+	if cfg.traceBudget != 0 {
+		mgr.SetSessionTraceBudget(cfg.traceBudget)
 	}
-	srv := &http.Server{Addr: addr, Handler: server.New(mgr)}
+	if cfg.jobTimeout > 0 {
+		mgr.SetDefaultTimeout(cfg.jobTimeout)
+	}
+	if cfg.maxQueue > 0 {
+		mgr.SetQueueLimit(cfg.maxQueue)
+	}
+	if cfg.journal {
+		jn, pending, err := jobs.OpenJournal(cfg.dataDir)
+		if err != nil {
+			return err
+		}
+		defer jn.Close()
+		if n := mgr.UseJournal(jn, pending); n > 0 {
+			log.Printf("graspd: crash recovery re-enqueued %d journaled job(s)", n)
+		}
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: server.NewWith(mgr, server.Options{
+		RatePerSec: cfg.rate,
+		Burst:      cfg.rateBurst,
+	})}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -81,7 +139,7 @@ func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionB
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("graspd: listening on %s (%d workers, %d stored results in %s)",
-			addr, workers, store.Len(), dataDir)
+			cfg.addr, cfg.workers, store.Len(), cfg.dataDir)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -91,8 +149,8 @@ func run(addr, dataDir string, workers int, drainTimeout time.Duration, sessionB
 	case <-ctx.Done():
 	}
 
-	log.Printf("graspd: draining (finishing running jobs, up to %v)", drainTimeout)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("graspd: draining (finishing running jobs, up to %v)", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// Manager first: reject new work and let running simulations finish,
 	// then close the listener once in-flight waiters have their answers.

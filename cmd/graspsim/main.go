@@ -53,6 +53,7 @@ type options struct {
 	reorder    string
 	remote     string
 	priority   int
+	timeout    time.Duration
 	cpuprofile string
 	memprofile string
 }
@@ -101,6 +102,8 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.StringVar(&o.remote, "remote", "",
 		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
 	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
+	fs.DurationVar(&o.timeout, "timeout", 0,
+		"-remote mode: per-job wall-clock budget (e.g. 10m); the daemon cancels the job beyond it. 0 = server default")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "",
 		"write a CPU profile of the run to this `file` (inspect with go tool pprof)")
 	fs.StringVar(&o.memprofile, "memprofile", "",
@@ -312,9 +315,10 @@ func selectExperiments(spec string) ([]exp.Experiment, error) {
 // experiment's stored body in -exp mode.
 func runRemote(o *options, w io.Writer) error {
 	client := server.NewClient(o.remote)
+	timeoutS := o.timeout.Seconds()
 	if o.graphSpec != "" {
 		spec := jobs.Spec{Kind: jobs.KindSingle, Graph: o.graphSpec, App: o.app,
-			Policy: o.policy, Reorder: o.reorder, Scale: uint32(o.scale)}
+			Policy: o.policy, Reorder: o.reorder, Scale: uint32(o.scale), TimeoutS: timeoutS}
 		outcome, err := client.RunSync(spec, o.priority)
 		if err != nil {
 			return err
@@ -336,13 +340,13 @@ func runRemote(o *options, w io.Writer) error {
 	// datapoints), then collect the outcomes in paper order — RunSync on
 	// an in-flight job joins it rather than resubmitting.
 	for _, e := range exps {
-		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale)}
+		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale), TimeoutS: timeoutS}
 		if _, err := client.Submit(spec, o.priority); err != nil {
 			return err
 		}
 	}
 	for _, e := range exps {
-		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale)}
+		spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: e.ID, Scale: uint32(o.scale), TimeoutS: timeoutS}
 		outcome, err := client.RunSync(spec, o.priority)
 		if err != nil {
 			return err

@@ -12,10 +12,13 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -127,9 +130,29 @@ func (f *flightCache[V]) do(key string, fn func() (V, error)) (V, error) {
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.m[key] = c
 	f.mu.Unlock()
+	defer f.settlePanic(key, c)
 	c.val, c.err = fn()
 	close(c.done)
 	return c.val, c.err
+}
+
+// settlePanic keeps a panicking computation from poisoning the table: the
+// entry is dropped, waiters blocked on it receive an error instead of
+// hanging forever, and the panic continues up to the containment layer
+// (the jobs manager's recover, or process exit for CLI callers). Without
+// this, a panic would leave the flightCall's done channel open and every
+// waiter — possibly a whole worker pool — deadlocked.
+func (f *flightCache[V]) settlePanic(key string, c *flightCall[V]) {
+	if p := recover(); p != nil {
+		f.mu.Lock()
+		if f.m[key] == c {
+			delete(f.m, key)
+		}
+		f.mu.Unlock()
+		c.err = fmt.Errorf("exp: computation panicked: %v", p)
+		close(c.done)
+		panic(p)
+	}
 }
 
 // doTransient is do, except a failed computation is removed from the
@@ -591,55 +614,80 @@ func (p Datapoint) group() groupKey {
 	return groupKey{ds: p.DS, reorder: p.Reorder, app: p.App, layout: p.Layout}
 }
 
+// foreignCancel reports whether err is a cancellation that cannot have
+// originated from ctx: a singleflight waiter merged onto another caller's
+// in-flight computation observes THAT caller's cancellation even though
+// its own context is still live (two jobs sharing a recording, one
+// cancelled mid-record). The transient caches drop failed entries, so the
+// waiter just retries and recomputes under its own context — without this
+// check one job's cancel would fail every job that happened to share a
+// datapoint with it.
+func foreignCancel(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // record returns the shared FULL recording of one (dataset, reorder, app,
 // layout) group, executing the application once behind the L1/L2 filter
 // and caching the encoded trace on first use. Full recordings back
 // result replays for any policy.
-func (s *Session) record(k groupKey) (recording, error) {
+func (s *Session) record(ctx context.Context, k groupKey) (recording, error) {
 	key := fmt.Sprintf("%s|%s|%s|%v|rec", s.datasetKey(k.ds), k.reorder, k.app, k.layout)
-	rec, err := s.traces.doTransient(key, func() (recording, error) {
-		return s.recordTrace(key, k, 0)
-	})
-	if err == nil {
-		s.touchRecording(key)
+	for {
+		rec, err := s.traces.doTransient(key, func() (recording, error) {
+			return s.recordTrace(ctx, key, k, 0)
+		})
+		if foreignCancel(ctx, err) {
+			continue
+		}
+		if err == nil {
+			s.touchRecording(key)
+		}
+		return rec, err
 	}
-	return rec, err
 }
 
 // cappedRecord returns a bounded-prefix recording of the group (the OPT
 // study's trace length), cached separately from full recordings: a capped
 // trace costs ~64MB where a full-scale full trace runs to tens of GB, but
 // it must never back a full-result replay, so traceReady ignores it.
-func (s *Session) cappedRecord(k groupKey) (recording, error) {
+func (s *Session) cappedRecord(ctx context.Context, k groupKey) (recording, error) {
 	key := fmt.Sprintf("%s|%s|%s|%v|rec%d", s.datasetKey(k.ds), k.reorder, k.app, k.layout, optTraceCap)
-	rec, err := s.traces.doTransient(key, func() (recording, error) {
-		return s.recordTrace(key, k, optTraceCap)
-	})
-	if err == nil {
-		s.touchRecording(key)
+	for {
+		rec, err := s.traces.doTransient(key, func() (recording, error) {
+			return s.recordTrace(ctx, key, k, optTraceCap)
+		})
+		if foreignCancel(ctx, err) {
+			continue
+		}
+		if err == nil {
+			s.touchRecording(key)
+		}
+		return rec, err
 	}
-	return rec, err
 }
 
 // optRecording serves bounded-prefix consumers (Session.LLCTrace, the
 // OPT study): the full recording when one is already cached — its prefix
 // is identical and decoding stops at the cap — otherwise a capped one.
-func (s *Session) optRecording(k groupKey) (recording, error) {
+func (s *Session) optRecording(ctx context.Context, k groupKey) (recording, error) {
 	if s.traceReady(k) {
-		return s.record(k)
+		return s.record(ctx, k)
 	}
-	return s.cappedRecord(k)
+	return s.cappedRecord(ctx, k)
 }
 
 // recordTrace executes one recording run (limit <= 0: full stream) and
 // registers the finished trace under key in the recording byte budget.
-func (s *Session) recordTrace(key string, k groupKey, limit int64) (recording, error) {
+func (s *Session) recordTrace(ctx context.Context, key string, k groupKey, limit int64) (recording, error) {
 	w, err := s.Workload(k.ds, k.reorder, k.app == "SSSP")
 	if err != nil {
 		return recording{}, err
 	}
 	start := time.Now()
-	tr, err := sim.RecordTraceN(w, k.app, k.layout, s.Cfg.HCfg, limit)
+	tr, err := sim.RecordTraceNCtx(ctx, w, k.app, k.layout, s.Cfg.HCfg, limit)
 	s.phase.record.Add(int64(time.Since(start)))
 	if err != nil {
 		return recording{}, err
@@ -661,14 +709,14 @@ func (s *Session) recordTrace(key string, k groupKey, limit int64) (recording, e
 // race (the cached recording was evicted and released between lookup and
 // pin) retries: the eviction also removed the cache entry, so the next
 // lookup re-records.
-func (s *Session) withRecording(k groupKey, capped bool, fn func(rec recording) error) error {
+func (s *Session) withRecording(ctx context.Context, k groupKey, capped bool, fn func(rec recording) error) error {
 	for {
 		var rec recording
 		var err error
 		if capped {
-			rec, err = s.optRecording(k)
+			rec, err = s.optRecording(ctx, k)
 		} else {
-			rec, err = s.record(k)
+			rec, err = s.record(ctx, k)
 		}
 		if err != nil {
 			return err
@@ -698,7 +746,7 @@ func (s *Session) traceReady(k groupKey) bool {
 func (s *Session) LLCTrace(dsName, app string) ([]uint64, [][2]uint64, error) {
 	var addrs []uint64
 	var bounds [][2]uint64
-	err := s.withRecording(groupKey{ds: dsName, reorder: "DBG", app: app, layout: apps.LayoutMerged}, true,
+	err := s.withRecording(context.Background(), groupKey{ds: dsName, reorder: "DBG", app: app, layout: apps.LayoutMerged}, true,
 		func(rec recording) error {
 			var derr error
 			addrs, derr = rec.tr.Addrs(optTraceCap)
@@ -764,8 +812,17 @@ func (s *Session) baseGraph(dsName string, ds graph.Dataset, weighted bool) (*gr
 // the two are result-identical (the replay-equivalence suite pins this),
 // so callers never observe which path served them.
 func (s *Session) Result(dsName, reorderName, app string, layout apps.Layout, policy string) (sim.Result, error) {
+	return s.ResultCtx(context.Background(), dsName, reorderName, app, layout, policy)
+}
+
+// ResultCtx is Result with cooperative cancellation: the simulation checks
+// ctx at trace-chunk / access-poll boundaries and returns an error wrapping
+// ctx's cause once it expires. Cancellation never perturbs a completed
+// datapoint — a cancelled computation is dropped from the cache, and a
+// later request recomputes it from scratch with identical output.
+func (s *Session) ResultCtx(ctx context.Context, dsName, reorderName, app string, layout apps.Layout, policy string) (sim.Result, error) {
 	p := Datapoint{DS: dsName, Reorder: reorderName, App: app, Layout: layout, Policy: policy}
-	return s.result(p, s.traceReady(p.group()))
+	return s.result(ctx, p, s.traceReady(p.group()))
 }
 
 // resultKey renders the result-cache key of one datapoint.
@@ -775,38 +832,46 @@ func (s *Session) resultKey(p Datapoint) string {
 
 // result computes one result datapoint, replaying the group's shared
 // recording when viaTrace is set (recording it first if need be).
-func (s *Session) result(p Datapoint, viaTrace bool) (sim.Result, error) {
+func (s *Session) result(ctx context.Context, p Datapoint, viaTrace bool) (sim.Result, error) {
 	// doTransient: the replay path can fail environmentally (spill I/O),
 	// and a failed result must not be served from cache for the session's
 	// lifetime; deterministic failures just recompute cheaply on request.
-	return s.results.doTransient(s.resultKey(p), func() (sim.Result, error) {
-		weighted := p.App == "SSSP"
-		w, err := s.Workload(p.DS, p.Reorder, weighted)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		spec := sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
-		if viaTrace {
-			var r sim.Result
-			err := s.withRecording(p.group(), false, func(rec recording) error {
-				start := time.Now()
-				var rerr error
-				r, rerr = sim.ReplayResult(rec.tr, spec, w.Dataset.Name, rec.bounds)
-				s.phase.replay.Add(int64(time.Since(start)))
-				return rerr
-			})
+	// The foreignCancel retry covers waiters merged onto a flight that was
+	// cancelled under someone else's context.
+	for {
+		r, err := s.results.doTransient(s.resultKey(p), func() (sim.Result, error) {
+			weighted := p.App == "SSSP"
+			w, err := s.Workload(p.DS, p.Reorder, weighted)
 			if err != nil {
 				return sim.Result{}, err
 			}
+			spec := sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
+			if viaTrace {
+				var r sim.Result
+				err := s.withRecording(ctx, p.group(), false, func(rec recording) error {
+					start := time.Now()
+					var rerr error
+					r, rerr = sim.ReplayResultCtx(ctx, rec.tr, spec, w.Dataset.Name, rec.bounds)
+					s.phase.replay.Add(int64(time.Since(start)))
+					return rerr
+				})
+				if err != nil {
+					return sim.Result{}, err
+				}
+				s.simRuns.Add(1)
+				return r, nil
+			}
 			s.simRuns.Add(1)
-			return r, nil
+			start := time.Now()
+			r, err := sim.RunCtx(ctx, w, spec)
+			s.phase.direct.Add(int64(time.Since(start)))
+			return r, err
+		})
+		if foreignCancel(ctx, err) {
+			continue
 		}
-		s.simRuns.Add(1)
-		start := time.Now()
-		r, err := sim.Run(w, spec)
-		s.phase.direct.Add(int64(time.Since(start)))
 		return r, err
-	})
+	}
 }
 
 // Datapoint names one unit of simulation work an experiment will consume:
@@ -825,7 +890,7 @@ type Datapoint struct {
 // it records capped unless a full recording already exists.
 func (s *Session) compute(p Datapoint) error {
 	if p.Trace {
-		_, err := s.optRecording(p.group())
+		_, err := s.optRecording(context.Background(), p.group())
 		return err
 	}
 	_, err := s.Result(p.DS, p.Reorder, p.App, p.Layout, p.Policy)
@@ -864,6 +929,18 @@ func (s *Session) Prefetch(points []Datapoint) error {
 // use the callback to surface per-job completion percentages while a
 // batch is in flight.
 func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, total int)) error {
+	return s.PrefetchObservedCtx(context.Background(), points, onProgress)
+}
+
+// PrefetchObservedCtx is PrefetchObserved with cooperative cancellation
+// and per-unit fault containment. Cancellation is checked before each
+// scheduling unit starts and at chunk boundaries inside recordings and
+// replays, so a cancelled batch unwinds within one chunk of work; units
+// already complete stay cached, unfinished ones are dropped (transient
+// semantics) and recompute identically on a later request. A panic inside
+// one unit's simulation fails only that unit's datapoints — the stack is
+// attached to their error — and the rest of the batch keeps running.
+func (s *Session) PrefetchObservedCtx(ctx context.Context, points []Datapoint, onProgress func(done, total int)) error {
 	uniq := points
 	if len(points) > 1 {
 		seen := make(map[Datapoint]bool, len(points))
@@ -899,6 +976,13 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 		}
 	}
 	forEachParallel(len(warm), func(i int) {
+		// Swallow panics too: a workload whose preparation panics must not
+		// kill the warm-up worker — the memo drops the entry, and the panic
+		// recurs (contained) under the first unit that needs the workload.
+		defer func() { _ = recover() }()
+		if ctx.Err() != nil {
+			return
+		}
 		_, _ = s.Workload(warm[i].ds, warm[i].reorder, warm[i].weighted)
 	})
 	// Group the result datapoints; groups with several consumers of one
@@ -972,21 +1056,48 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 			onProgress(int(completed.Add(1)), len(uniq))
 		}
 	}
-	forEachParallel(len(units), func(j int) {
-		u := units[j]
+	// runUnit executes one scheduling unit with fault containment: a panic
+	// anywhere under it (a policy bug, a corrupted dataset) becomes the
+	// unit's error with the stack attached, instead of escaping the worker
+	// goroutine and killing the process. A sentinel abort (cooperative
+	// cancellation surfacing from a sink with no error return path) is
+	// unwrapped to its cause. pointErr carries per-datapoint failures that
+	// must not fail the whole unit.
+	runUnit := func(u *unit) (uerr error, pointErr map[int]error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if aerr, ok := trace.AbortError(p); ok {
+					uerr = aerr
+					return
+				}
+				uerr = fmt.Errorf("exp: datapoint panicked: %v\n%s", p, debug.Stack())
+			}
+		}()
+		if err := trace.ContextErr(ctx); err != nil {
+			return err, nil
+		}
 		switch u.kind {
 		case unitBroadcast:
-			s.broadcastUnit(u.group, u.pts, uniq, note)
+			return s.broadcastUnit(ctx, u.group, u.pts, uniq)
 		case unitTraceOnly:
 			// Trace-only groups record just the bounded prefix the OPT
 			// study consumes.
-			_, err := s.optRecording(u.group)
-			for _, i := range u.pts {
-				note(i, err)
+			_, err := s.optRecording(ctx, u.group)
+			return err, nil
+		default:
+			_, err := s.result(ctx, uniq[u.pts[0]], false)
+			return err, nil
+		}
+	}
+	forEachParallel(len(units), func(j int) {
+		u := units[j]
+		uerr, pointErr := runUnit(u)
+		for _, i := range u.pts {
+			err := uerr
+			if err == nil {
+				err = pointErr[i]
 			}
-		case unitSingle:
-			_, err := s.result(uniq[u.pts[0]], false)
-			note(u.pts[0], err)
+			note(i, err)
 		}
 	})
 	for _, err := range errs {
@@ -1004,10 +1115,11 @@ func (s *Session) PrefetchObserved(points []Datapoint, onProgress func(done, tot
 // requests share them; if another goroutine is already computing one of
 // the keys, its outcome wins — identical by the replay-equivalence
 // invariant). A declared trace point of the group is satisfied by the
-// recording itself. note is invoked exactly once per point.
-func (s *Session) broadcastUnit(k groupKey, ptIdx []int, uniq []Datapoint, note func(i int, err error)) {
+// recording itself. The group-wide error and any per-point errors are
+// returned for the caller to attribute.
+func (s *Session) broadcastUnit(ctx context.Context, k groupKey, ptIdx []int, uniq []Datapoint) (error, map[int]error) {
 	pointErr := make(map[int]error)
-	uerr := s.withRecording(k, false, func(rec recording) error {
+	uerr := s.withRecording(ctx, k, false, func(rec recording) error {
 		var pending []int
 		for _, i := range ptIdx {
 			if uniq[i].Trace || s.results.ready(s.resultKey(uniq[i])) {
@@ -1034,7 +1146,7 @@ func (s *Session) broadcastUnit(k groupKey, ptIdx []int, uniq []Datapoint, note 
 			specs[j] = sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
 		}
 		start := time.Now()
-		results, err := sim.BroadcastResults(rec.tr, specs, w.Dataset.Name, rec.bounds)
+		results, err := sim.BroadcastResultsCtx(ctx, rec.tr, specs, w.Dataset.Name, rec.bounds)
 		s.phase.replay.Add(int64(time.Since(start)))
 		if err != nil {
 			return err
@@ -1050,13 +1162,7 @@ func (s *Session) broadcastUnit(k groupKey, ptIdx []int, uniq []Datapoint, note 
 		}
 		return nil
 	})
-	for _, i := range ptIdx {
-		err := uerr
-		if err == nil {
-			err = pointErr[i]
-		}
-		note(i, err)
-	}
+	return uerr, pointErr
 }
 
 // forEachParallel invokes work(i) for every i in [0, n) from a pool of at

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -48,7 +49,7 @@ func runOPTStudy(s *Session, llcCfg cache.Config) (map[[2]string]optDatapoint, e
 	forEachParallel(len(pairs), func(i int) {
 		app, ds := pairs[i].app, pairs[i].ds
 		k := groupKey{ds: ds, reorder: "DBG", app: app, layout: apps.LayoutMerged}
-		errs[i] = s.withRecording(k, true, func(rec recording) error {
+		errs[i] = s.withRecording(context.Background(), k, true, func(rec recording) error {
 			replays := []struct {
 				misses *uint64
 				pinfo  sim.PolicyInfo

@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"grasp/internal/apps"
 	"grasp/internal/exp"
+	"grasp/internal/fail"
 	"grasp/internal/graph"
 	"grasp/internal/trace"
 )
@@ -41,6 +43,21 @@ const (
 // ErrDraining is returned by Submit once Shutdown has begun: the daemon
 // finishes running work but accepts no more.
 var ErrDraining = errors.New("jobs: manager is draining")
+
+// ErrCanceled is the terminal error of a job cancelled through Cancel:
+// the work was preempted at the next cancellation point, never completed,
+// and nothing was stored under its hash.
+var ErrCanceled = errors.New("jobs: canceled")
+
+// ErrTimeout is the terminal error of a job that exceeded its wall-clock
+// budget (Spec.TimeoutS, or the manager's default deadline).
+var ErrTimeout = errors.New("jobs: deadline exceeded")
+
+// ErrOverloaded is returned by Submit when the queue is at its configured
+// depth limit: the daemon sheds the new work instead of accumulating an
+// unbounded backlog. The submission had no effect; clients retry later
+// (the HTTP layer translates this to 503 + Retry-After).
+var ErrOverloaded = errors.New("jobs: queue full")
 
 // Job is one tracked submission. All mutable state is behind a mutex;
 // readers use Status for a consistent snapshot and Done to block until
@@ -66,6 +83,10 @@ type Job struct {
 	// new file's metrics under the old content address.
 	graphID string
 
+	// journaled marks jobs whose submission was journaled, so settle
+	// knows to journal the matching settlement.
+	journaled bool
+
 	mu       sync.Mutex
 	state    string
 	progress float64
@@ -75,6 +96,12 @@ type Job struct {
 	cached   bool
 	outcome  *Outcome
 	done     chan struct{}
+	// cancelRequested is set by Cancel; a worker that pops the job checks
+	// it before starting, closing the race between a cancel of a queued
+	// job and the pop that would have run it. cancel is the running job's
+	// context canceller, installed by runJob.
+	cancelRequested bool
+	cancel          context.CancelCauseFunc
 }
 
 // Status is a consistent, JSON-ready snapshot of a job's state.
@@ -158,23 +185,39 @@ type Manager struct {
 	q  *queue
 	wg sync.WaitGroup
 
-	mu            sync.Mutex
-	sessions      map[uint32]*exp.Session // one simulation session per scale divisor
-	sessionBudget int64                   // FileBytesBudget for future sessions; 0 = exp default
-	traceBudget   int64                   // TraceBytesBudget for future sessions; 0 = exp default
-	byID          map[string]*Job
-	byHash        map[string]*Job // in-flight (queued/running) jobs only
-	retired       []string        // terminal job IDs, oldest first, for bounded retention
-	draining      bool
+	// preemptCtx is the parent of every job context; preempt cancels it
+	// (cause ErrDraining) when Shutdown's drain deadline expires, pulling
+	// every running simulation out at its next cancellation point. Nil in
+	// hand-built test managers — jobContext falls back to Background.
+	preemptCtx context.Context
+	preempt    context.CancelCauseFunc
 
-	idSeq     atomic.Uint64
-	running   atomic.Int64
-	submitted atomic.Uint64
-	executed  atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	storeHits atomic.Uint64
-	dedupHits atomic.Uint64
+	mu             sync.Mutex
+	sessions       map[uint32]*exp.Session // one simulation session per scale divisor
+	sessionBudget  int64                   // FileBytesBudget for future sessions; 0 = exp default
+	traceBudget    int64                   // TraceBytesBudget for future sessions; 0 = exp default
+	defaultTimeout time.Duration           // deadline for jobs with no TimeoutS; 0 = none
+	queueLimit     int                     // max queued jobs before Submit sheds; 0 = unbounded
+	journal        *Journal                // crash-recovery log; nil = no journaling
+	byID           map[string]*Job
+	byHash         map[string]*Job // in-flight (queued/running) jobs only
+	retired        []string        // terminal job IDs, oldest first, for bounded retention
+	draining       bool
+
+	idSeq         atomic.Uint64
+	running       atomic.Int64
+	submitted     atomic.Uint64
+	executed      atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	storeHits     atomic.Uint64
+	dedupHits     atomic.Uint64
+	panics        atomic.Uint64
+	canceled      atomic.Uint64
+	shed          atomic.Uint64
+	requeued      atomic.Uint64
+	storeErrors   atomic.Uint64
+	journalErrors atomic.Uint64
 }
 
 // NewManager starts a manager with the given result store and worker
@@ -191,6 +234,7 @@ func NewManager(store *Store, workers int) *Manager {
 		byID:     make(map[string]*Job),
 		byHash:   make(map[string]*Job),
 	}
+	m.preemptCtx, m.preempt = context.WithCancelCause(context.Background())
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -204,8 +248,18 @@ func (m *Manager) Workers() int { return m.workers }
 // Submit canonicalizes and hashes the spec, then either returns the
 // stored outcome (Cached), joins an identical in-flight job (Deduped), or
 // enqueues new work (Queued). The returned job is registered and can be
-// polled by ID in every case.
+// polled by ID in every case. With a queue limit configured, Submit sheds
+// genuinely new work (never cache hits or dedup joins) with ErrOverloaded
+// once the backlog reaches the limit; with a journal attached, a Queued
+// disposition implies the submission is fsync'd and survives a crash.
 func (m *Manager) Submit(spec Spec, priority int) (*Job, Disposition, error) {
+	return m.submit(spec, priority, true)
+}
+
+// submit is Submit with control over journaling: crash recovery
+// re-enqueues jobs that are already in the journal and must not append
+// duplicate submit records for them.
+func (m *Manager) submit(spec Spec, priority int, record bool) (*Job, Disposition, error) {
 	if err := spec.Canonicalize(); err != nil {
 		return nil, "", err
 	}
@@ -242,18 +296,139 @@ func (m *Manager) Submit(spec Spec, priority int) (*Job, Disposition, error) {
 		m.q.Boost(lead, priority)
 		return lead, Deduped, nil
 	}
+	if m.queueLimit > 0 && m.q.Depth() >= m.queueLimit {
+		m.shed.Add(1)
+		return nil, "", ErrOverloaded
+	}
 	j := &Job{
 		ID: m.nextID(), Hash: hash, Spec: spec, Priority: priority,
 		Submitted: now, state: StateQueued, done: make(chan struct{}),
-		graphID: gid,
+		graphID: gid, journaled: m.journal != nil,
 	}
 	if !m.q.Push(j) {
 		return nil, "", ErrDraining
+	}
+	if record && m.journal != nil {
+		if jerr := m.journal.Submitted(hash, spec, priority); jerr != nil {
+			// The job still runs; only its crash durability degraded.
+			// Surface through the degraded flag rather than failing the
+			// submission.
+			m.journalErrors.Add(1)
+			log.Printf("jobs: journaling %s: %v", hash, jerr)
+		}
 	}
 	m.submitted.Add(1)
 	m.byID[j.ID] = j
 	m.byHash[hash] = j
 	return j, Queued, nil
+}
+
+// Cancel requests cancellation of a job by ID. It returns the job (nil if
+// unknown) and whether the request took effect: a queued job is removed
+// and settled as failed with ErrCanceled immediately; a running job is
+// preempted at its next cancellation point (a trace-chunk or datapoint
+// boundary — the caller observes settlement via Done). false with a
+// non-nil job means the job had already reached a terminal state.
+// Cancelling a deduplicated job cancels it for every submitter that
+// joined it.
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	m.mu.Lock()
+	j := m.byID[id]
+	m.mu.Unlock()
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed {
+		j.mu.Unlock()
+		return j, false
+	}
+	j.cancelRequested = true
+	state, cancel := j.state, j.cancel
+	j.mu.Unlock()
+	m.canceled.Add(1)
+	if state == StateQueued && m.q.Remove(j) {
+		// The queue lock guarantees no worker will pop it now; settle it
+		// here. If Remove lost the race, the worker that popped it sees
+		// cancelRequested before starting (or through the cancel func
+		// installed by runJob) and settles it itself.
+		m.settle(j, nil, ErrCanceled)
+		return j, true
+	}
+	if cancel != nil {
+		cancel(ErrCanceled)
+	}
+	return j, true
+}
+
+// UseJournal attaches the crash-recovery journal and re-enqueues the
+// pending jobs a previous process left behind (the second return of
+// OpenJournal), returning how many were requeued. Pending jobs whose
+// outcome is already in the store — the crash hit between the store write
+// and the settle record — are settled in the journal instead of re-run.
+// Call it once, before serving traffic.
+func (m *Manager) UseJournal(jn *Journal, pending []PendingJob) int {
+	m.mu.Lock()
+	m.journal = jn
+	m.mu.Unlock()
+	requeued := 0
+	for _, p := range pending {
+		if m.store.Get(p.Hash) != nil {
+			if err := jn.Settled(p.Hash); err != nil {
+				m.journalErrors.Add(1)
+				log.Printf("jobs: journaling recovered %s: %v", p.Hash, err)
+			}
+			continue
+		}
+		if _, disp, err := m.submit(p.Spec, p.Priority, false); err != nil {
+			// A spec that no longer canonicalizes (e.g. a deleted graph
+			// file) cannot run again; drop it from future recoveries.
+			log.Printf("jobs: dropping unrecoverable journaled job %s: %v", p.Hash, err)
+			if jerr := jn.Settled(p.Hash); jerr != nil {
+				m.journalErrors.Add(1)
+			}
+		} else if disp == Queued {
+			requeued++
+			m.requeued.Add(1)
+		}
+	}
+	return requeued
+}
+
+// SetDefaultTimeout sets the wall-clock budget applied to jobs that do
+// not carry their own Spec.TimeoutS (0 = no default). Set it before
+// serving traffic.
+func (m *Manager) SetDefaultTimeout(d time.Duration) {
+	m.mu.Lock()
+	m.defaultTimeout = d
+	m.mu.Unlock()
+}
+
+// SetQueueLimit bounds the backlog: once the queue holds n jobs, Submit
+// sheds new work with ErrOverloaded (0 = unbounded). Cache hits and dedup
+// joins are never shed — they consume no queue slot. Set it before
+// serving traffic.
+func (m *Manager) SetQueueLimit(n int) {
+	m.mu.Lock()
+	m.queueLimit = n
+	m.mu.Unlock()
+}
+
+// Overloaded reports whether the queue is at its configured limit (the
+// readiness signal behind /readyz).
+func (m *Manager) Overloaded() bool {
+	m.mu.Lock()
+	limit := m.queueLimit
+	m.mu.Unlock()
+	return limit > 0 && m.q.Depth() >= limit
+}
+
+// Degraded reports whether any persistence write (result store or
+// journal) has failed over the manager's lifetime: results are still
+// served from memory, but crash durability is compromised and the
+// operator should look at the disk.
+func (m *Manager) Degraded() bool {
+	return m.storeErrors.Load()+m.journalErrors.Load() > 0
 }
 
 // Job returns the tracked job with the given ID, or nil.
@@ -331,21 +506,73 @@ func (m *Manager) worker() {
 	}
 }
 
+// jobContext derives the cancellation context one job runs under: child
+// of the manager's preempt context (so Shutdown can pull every running
+// job out), cancellable per job (Cancel), and deadlined when the spec or
+// the manager carries a timeout.
+func (m *Manager) jobContext(j *Job) (context.Context, context.CancelCauseFunc) {
+	parent := m.preemptCtx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	m.mu.Lock()
+	d := m.defaultTimeout
+	m.mu.Unlock()
+	if j.Spec.TimeoutS > 0 {
+		d = time.Duration(j.Spec.TimeoutS * float64(time.Second))
+	}
+	if d <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeoutCause(ctx, d, ErrTimeout)
+	return tctx, func(cause error) {
+		tcancel()
+		cancel(cause)
+	}
+}
+
+// translateRunError rewrites a raw cancellation that bubbled out of the
+// simulation engine as the job-level cause — ErrCanceled, ErrTimeout or
+// ErrDraining — so the settled error says WHY the job was preempted, not
+// just that a context somewhere expired.
+func translateRunError(ctx context.Context, err error) error {
+	if err == nil || ctx.Err() == nil {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
+}
+
 // runJob executes one job and settles it (outcome stored + done closed,
 // or failed).
 func (m *Manager) runJob(j *Job) {
 	m.running.Add(1)
 	defer m.running.Add(-1)
+	ctx, cancel := m.jobContext(j)
+	defer cancel(nil)
 	j.mu.Lock()
+	if j.cancelRequested {
+		// Cancelled while queued but popped before (or despite) the
+		// queue removal; honor the cancel without starting the work.
+		j.mu.Unlock()
+		m.settle(j, nil, ErrCanceled)
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.cancel = cancel
 	j.mu.Unlock()
 
 	m.executed.Add(1)
 	start := time.Now()
-	outcome, err := m.execute(j)
+	outcome, err := m.executeRecovered(ctx, j)
 	if err != nil {
-		m.settle(j, nil, err)
+		m.settle(j, nil, translateRunError(ctx, err))
 		return
 	}
 	if err := j.verifyGraphIdentity(); err != nil {
@@ -359,6 +586,7 @@ func (m *Manager) runJob(j *Job) {
 	if perr := m.store.Put(outcome); perr != nil {
 		// The in-memory index still serves it; losing persistence across
 		// restarts is worth surfacing but not failing the job over.
+		m.storeErrors.Add(1)
 		log.Printf("jobs: persisting %s: %v", j.Hash, perr)
 	}
 	m.settle(j, outcome, nil)
@@ -382,12 +610,22 @@ func (m *Manager) retireLocked(id string) {
 }
 
 // settle moves a finished job to its terminal state and releases the
-// in-flight dedup slot.
+// in-flight dedup slot. Journaled jobs get a settle record — EXCEPT those
+// failed out by a drain: a drain is a restart in progress, and leaving
+// them pending means the rebooted daemon re-enqueues and finishes them
+// instead of losing acknowledged work.
 func (m *Manager) settle(j *Job, o *Outcome, err error) {
 	m.mu.Lock()
 	delete(m.byHash, j.Hash)
 	m.retireLocked(j.ID)
+	jn := m.journal
 	m.mu.Unlock()
+	if j.journaled && jn != nil && !errors.Is(err, ErrDraining) {
+		if jerr := jn.Settled(j.Hash); jerr != nil {
+			m.journalErrors.Add(1)
+			log.Printf("jobs: journaling settlement of %s: %v", j.Hash, jerr)
+		}
+	}
 	j.mu.Lock()
 	j.finished = time.Now()
 	if err != nil {
@@ -404,12 +642,37 @@ func (m *Manager) settle(j *Job, o *Outcome, err error) {
 	close(j.done)
 }
 
-// execute runs the simulation work for one job on the session engine.
-func (m *Manager) execute(j *Job) (*Outcome, error) {
+// executeRecovered wraps execute in the manager's fault barrier: a panic
+// anywhere under the job — a policy bug, a corrupted graph file, an
+// injected fault — becomes that job's failure (stack attached) instead of
+// killing the daemon and every other job with it. The "jobs.execute"
+// failpoint lets the chaos suite drive both the error and the panic path.
+func (m *Manager) executeRecovered(ctx context.Context, j *Job) (o *Outcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if aerr, ok := trace.AbortError(p); ok {
+				// A cooperative-cancellation abort that escaped the
+				// engine's own recovery; it is an error, not a fault.
+				o, err = nil, aerr
+				return
+			}
+			m.panics.Add(1)
+			o, err = nil, fmt.Errorf("jobs: job panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if ferr := fail.Hit("jobs.execute"); ferr != nil {
+		return nil, ferr
+	}
+	return m.execute(ctx, j)
+}
+
+// execute runs the simulation work for one job on the session engine,
+// honoring ctx at datapoint and trace-chunk boundaries.
+func (m *Manager) execute(ctx context.Context, j *Job) (*Outcome, error) {
 	s := m.sessionFor(j.Spec.Scale)
 	switch j.Spec.Kind {
 	case KindSingle:
-		r, err := s.Result(j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy)
+		r, err := s.ResultCtx(ctx, j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy)
 		if err != nil {
 			return nil, err
 		}
@@ -421,12 +684,15 @@ func (m *Manager) execute(j *Job) (*Outcome, error) {
 		}
 		if e.Points != nil {
 			points := e.Points()
-			if err := s.PrefetchObserved(points, func(done, total int) {
+			if err := s.PrefetchObservedCtx(ctx, points, func(done, total int) {
 				// Hold the last percent back for the render step.
 				j.setProgress(0.99 * float64(done) / float64(total))
 			}); err != nil {
 				return nil, err
 			}
+		}
+		if err := trace.ContextErr(ctx); err != nil {
+			return nil, err
 		}
 		var buf bytes.Buffer
 		if err := e.Run(s, &buf); err != nil {
@@ -437,11 +703,21 @@ func (m *Manager) execute(j *Job) (*Outcome, error) {
 	return nil, fmt.Errorf("jobs: unknown job kind %q", j.Spec.Kind)
 }
 
+// shutdownGrace bounds how long Shutdown waits for preempted jobs to
+// reach a cancellation point after the drain deadline expired. Generous:
+// cancellation points are one trace chunk apart, but a worker can be deep
+// in a non-preemptible stretch (a Gorder reordering pass) on a loaded
+// host.
+const shutdownGrace = 30 * time.Second
+
 // Shutdown drains the manager: no new submissions are accepted, queued
 // jobs that never started are failed out immediately, and running
-// simulations are given until ctx expires to finish. It returns nil when
-// the pool drained, or ctx.Err() on timeout (simulations cannot be
-// preempted mid-trace; a timeout abandons them to process exit).
+// simulations are given until ctx expires to finish. When the deadline
+// passes, the remaining jobs are PREEMPTED (cancelled with cause
+// ErrDraining) and given a bounded grace period to unwind through their
+// next cancellation point and settle; only if even that expires are they
+// abandoned to process exit. Journaled jobs failed by the drain keep
+// their pending records, so a rebooted daemon re-enqueues them.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if m.draining {
@@ -462,6 +738,16 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-drained:
 		return nil
 	case <-ctx.Done():
+	}
+	if m.preempt != nil {
+		m.preempt(ErrDraining)
+	}
+	grace := time.NewTimer(shutdownGrace)
+	defer grace.Stop()
+	select {
+	case <-drained:
+		return nil
+	case <-grace.C:
 		return ctx.Err()
 	}
 }
@@ -484,6 +770,20 @@ type Metrics struct {
 	// StoreHits counts submissions served straight from the result store;
 	// DedupHits counts submissions merged onto an in-flight job.
 	StoreHits, DedupHits uint64
+	// Panics counts jobs that failed via a recovered panic (the fault-
+	// containment barrier); a non-zero value means a simulation crashed
+	// without taking the daemon down.
+	Panics uint64
+	// Canceled counts honored cancellation requests; Shed counts
+	// submissions rejected at the queue-depth limit; Requeued counts
+	// journaled jobs re-enqueued by crash recovery at boot.
+	Canceled, Shed, Requeued uint64
+	// StoreErrors and JournalErrors count failed persistence writes
+	// (outcome files, journal appends). Any non-zero value sets Degraded.
+	StoreErrors, JournalErrors uint64
+	// Degraded reports compromised persistence: results still serve from
+	// memory, but outcomes or journal records are not reaching disk.
+	Degraded bool
 	// Queued and Running describe the pool right now.
 	Queued, Running int
 	// StoredOutcomes is the size of the persistent result store.
@@ -530,6 +830,13 @@ func (m *Manager) Metrics() Metrics {
 		Failed:           m.failed.Load(),
 		StoreHits:        m.storeHits.Load(),
 		DedupHits:        m.dedupHits.Load(),
+		Panics:           m.panics.Load(),
+		Canceled:         m.canceled.Load(),
+		Shed:             m.shed.Load(),
+		Requeued:         m.requeued.Load(),
+		StoreErrors:      m.storeErrors.Load(),
+		JournalErrors:    m.journalErrors.Load(),
+		Degraded:         m.storeErrors.Load()+m.journalErrors.Load() > 0,
 		Queued:           m.q.Depth(),
 		Running:          int(m.running.Load()),
 		StoredOutcomes:   m.store.Len(),

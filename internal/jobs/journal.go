@@ -1,0 +1,192 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"grasp/internal/fail"
+)
+
+// journalFile is the journal's filename inside the store directory.
+const journalFile = "journal.jsonl"
+
+// Journal is the fsync'd append-only log that makes accepted work survive
+// a crash (DESIGN.md Sec. 13): Submit appends a record once a job is
+// enqueued, settle appends a matching record once it reaches a terminal
+// state, and a rebooting daemon re-enqueues every submission with no
+// settlement. Records are JSON lines; a torn final line (the crash hit
+// mid-append) is tolerated and dropped. The set of pending jobs is the
+// set difference — record order beyond that carries no meaning — so
+// replaying a journal is idempotent, and content-addressed hashing makes
+// re-running an already-stored job a cache hit rather than duplicate
+// work. Safe for concurrent use.
+type Journal struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+}
+
+// journalRecord is one line of the journal.
+type journalRecord struct {
+	// Op is "submit" or "settle".
+	Op string `json:"op"`
+	// Hash is the job's content address (both ops).
+	Hash string `json:"hash"`
+	// Spec and Priority reproduce the submission ("submit" only).
+	Spec     *Spec `json:"spec,omitempty"`
+	Priority int   `json:"priority,omitempty"`
+}
+
+// PendingJob is one journaled submission that never settled — the unit of
+// crash recovery returned by OpenJournal.
+type PendingJob struct {
+	// Hash is the content address the submission was journaled under.
+	Hash string
+	// Spec and Priority reproduce the original Submit call.
+	Spec     Spec
+	Priority int
+}
+
+// OpenJournal opens (creating if needed) the job journal inside dir and
+// returns the pending jobs a previous process left unsettled, in original
+// submission order. The journal is compacted on open — settled pairs are
+// dropped and only the pending submissions are rewritten (atomically:
+// temp file, fsync, rename) — so it stays proportional to the backlog,
+// not to the daemon's lifetime submission count.
+func OpenJournal(dir string) (*Journal, []PendingJob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	pending, err := readJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Compact: rewrite only the pending submissions. A crash between the
+	// rename below and the first new append just replays the same pending
+	// set again — recovery is idempotent.
+	tmp, err := os.CreateTemp(dir, ".journal-tmp-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	for _, p := range pending {
+		spec := p.Spec
+		line, err := json.Marshal(journalRecord{Op: "submit", Hash: p.Hash, Spec: &spec, Priority: p.Priority})
+		if err == nil {
+			_, err = tmp.Write(append(line, '\n'))
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, nil, fmt.Errorf("jobs: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: %w", err)
+	}
+	return &Journal{path: path, f: f}, pending, nil
+}
+
+// readJournal parses the journal at path (a missing file is an empty
+// journal) and folds its records into the pending set. Unparseable lines
+// are skipped: with fsync'd O_APPEND writes only the final line can be
+// torn, and dropping a torn submit merely loses a job that was never
+// acknowledged.
+func readJournal(path string) ([]PendingJob, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	defer f.Close()
+	var order []string
+	byHash := make(map[string]*PendingJob)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		var rec journalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		switch rec.Op {
+		case "submit":
+			if rec.Hash == "" || rec.Spec == nil || byHash[rec.Hash] != nil {
+				continue
+			}
+			byHash[rec.Hash] = &PendingJob{Hash: rec.Hash, Spec: *rec.Spec, Priority: rec.Priority}
+			order = append(order, rec.Hash)
+		case "settle":
+			delete(byHash, rec.Hash)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	var pending []PendingJob
+	for _, h := range order {
+		if p := byHash[h]; p != nil {
+			pending = append(pending, *p)
+		}
+	}
+	return pending, nil
+}
+
+// Submitted journals one accepted submission. The append is fsync'd
+// before returning, so a successful Submit implies the job survives a
+// crash.
+func (jn *Journal) Submitted(hash string, spec Spec, priority int) error {
+	return jn.append(journalRecord{Op: "submit", Hash: hash, Spec: &spec, Priority: priority})
+}
+
+// Settled journals one terminal settlement, removing the job from the
+// recovery set of the next boot.
+func (jn *Journal) Settled(hash string) error {
+	return jn.append(journalRecord{Op: "settle", Hash: hash})
+}
+
+// append writes one fsync'd record line under the journal lock.
+func (jn *Journal) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if err := fail.Hit("journal.append"); err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	if _, err := jn.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	if err := jn.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (jn *Journal) Close() error {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	return jn.f.Close()
+}

@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"grasp/internal/fail"
+)
+
+// TestJournalPendingSet: pending = submits − settles, in submission order,
+// with duplicate submits collapsed.
+func TestJournalPendingSet(t *testing.T) {
+	dir := t.TempDir()
+	jn, pending, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal pending = %d", len(pending))
+	}
+	a, b := tinySpec(), tinySpec()
+	b.App = "BFS"
+	if err := jn.Submitted("hashA", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Submitted("hashB", b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Submitted("hashA", a, 1); err != nil { // duplicate
+		t.Fatal(err)
+	}
+	if err := jn.Settled("hashA"); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+
+	jn2, pending, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn2.Close()
+	if len(pending) != 1 || pending[0].Hash != "hashB" || pending[0].Spec.App != "BFS" {
+		t.Fatalf("pending = %+v, want only hashB", pending)
+	}
+}
+
+// TestJournalTornLineTolerated: a crash mid-append leaves a torn final
+// line; recovery drops it and keeps every complete record.
+func TestJournalTornLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	jn, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Submitted("hashA", tinySpec(), 0); err != nil {
+		t.Fatal(err)
+	}
+	jn.Close()
+
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"submit","hash":"hashB","sp`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jn2, pending, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn2.Close()
+	if len(pending) != 1 || pending[0].Hash != "hashA" {
+		t.Fatalf("pending = %+v, want only the complete record", pending)
+	}
+	// Compaction rewrote the file: the torn fragment is gone for good.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "hashB") {
+		t.Errorf("compacted journal still carries the torn line:\n%s", data)
+	}
+}
+
+// TestJournalCompaction: settled pairs are dropped on open, so the file
+// stays proportional to the backlog, not to lifetime submissions.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	jn, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := jn.Submitted("h", tinySpec(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := jn.Settled("h"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jn.Close()
+
+	jn2, pending, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("pending = %d after full settle history", len(pending))
+	}
+	info, err := os.Stat(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != 0 {
+		t.Errorf("compacted journal is %d bytes, want 0 (no backlog)", info.Size())
+	}
+}
+
+// TestJournalAppendFailureSurfaces: an injected append fault reaches the
+// caller (the manager counts it as a journal error and degrades).
+func TestJournalAppendFailureSurfaces(t *testing.T) {
+	defer fail.Reset()
+	jn, _, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	fail.Arm("journal.append", nil)
+	if err := jn.Submitted("hashA", tinySpec(), 0); err == nil {
+		t.Fatal("injected journal fault did not surface")
+	}
+	fail.Reset()
+	if err := jn.Submitted("hashA", tinySpec(), 0); err != nil {
+		t.Fatalf("append after fault cleared: %v", err)
+	}
+}
+
+// TestJournalFailureDegradesManager: a failing journal never fails the
+// submission — the job still queues and runs — but the manager reports
+// degraded persistence.
+func TestJournalFailureDegradesManager(t *testing.T) {
+	defer fail.Reset()
+	dir := t.TempDir()
+	jn, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn.Close()
+	m := newTestManager(t, 1)
+	m.UseJournal(jn, nil)
+	fail.Arm("journal.append", nil)
+	j, disp, err := m.Submit(tinySpec(), 0)
+	if err != nil || disp != Queued {
+		t.Fatalf("submit with failing journal: disp=%v err=%v, want queued accept", disp, err)
+	}
+	if st := waitDone(t, j, time.Minute); st.State != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if !m.Degraded() || m.Metrics().JournalErrors == 0 {
+		t.Error("manager not degraded after journal append failures")
+	}
+}

@@ -73,6 +73,23 @@ func (q *queue) Boost(j *Job, prio int) {
 	}
 }
 
+// Remove takes j out of the queue before a worker pops it, reporting
+// whether it was still queued: false means a worker already claimed it
+// (or the queue closed), and the caller must cancel it through the
+// running-job path instead. The queue lock serializes Remove against Pop
+// and Close, so exactly one party ever owns a job's settlement.
+func (q *queue) Remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.items {
+		if q.items[i].job == j {
+			heap.Remove(&q.items, i)
+			return true
+		}
+	}
+	return false
+}
+
 // Close marks the queue closed, wakes all blocked workers, and returns the
 // jobs still pending so the caller can fail them out.
 func (q *queue) Close() []*Job {

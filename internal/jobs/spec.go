@@ -47,6 +47,13 @@ type Spec struct {
 	// Scale is the dataset scale divisor; 0 or 1 = full reproduction
 	// scale. The simulated hierarchy shrinks with it (exp.ScaledConfig).
 	Scale uint32 `json:"scale,omitempty"`
+	// TimeoutS is an optional wall-clock budget in seconds: the job is
+	// cancelled (and fails) once it runs longer. 0 falls back to the
+	// server's default deadline, if any. It is a scheduling option, not
+	// part of the job's identity — it never enters the content hash, so
+	// submissions differing only in timeout dedup onto one execution,
+	// which runs under the lead submission's budget.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // Canonicalize validates the spec and fills normalized defaults in place,
@@ -55,6 +62,9 @@ type Spec struct {
 func (s *Spec) Canonicalize() error {
 	if s.Scale == 0 {
 		s.Scale = 1
+	}
+	if s.TimeoutS < 0 {
+		return fmt.Errorf("jobs: negative timeout_s %g", s.TimeoutS)
 	}
 	switch s.Kind {
 	case KindSingle:

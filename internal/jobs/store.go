@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"grasp/internal/fail"
 	"grasp/internal/sim"
 )
 
@@ -100,6 +101,9 @@ func (s *Store) Put(o *Outcome) error {
 	s.mu.Lock()
 	s.mem[o.Hash] = o
 	s.mu.Unlock()
+	if err := fail.Hit("store.put"); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
 	data, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -13,13 +16,21 @@ import (
 )
 
 // Client talks to a graspd daemon; it is what `graspsim -remote` uses.
-// The zero HTTP client gets no request timeout — simulations can run for
-// minutes, and Submit with wait holds the connection open for the
-// duration.
+// Requests carry bounded connect, TLS-handshake and response-header
+// timeouts — a daemon that stops answering fails the call instead of
+// hanging it forever — while body reads stay unbounded, because a
+// synchronous submission (RunSync) legitimately holds the response open
+// for the duration of a simulation. Transient failures (connection
+// errors, 429 rate limiting, 503 shedding/draining) are retried with
+// exponential backoff and jitter, honoring the server's Retry-After hint;
+// retrying POST /jobs is safe because jobs are content-addressed — a
+// duplicate submission dedups or hits the result store, never runs twice.
 type Client struct {
 	// Base is the daemon's base URL, e.g. "http://localhost:8337".
 	Base string
-	// HTTP overrides the transport; nil uses http.DefaultClient.
+	// HTTP overrides the transport for ALL requests; nil uses the
+	// package's tuned defaults. Overriding disables the long-poll
+	// distinction, so set generous (or zero) timeouts if RunSync is used.
 	HTTP *http.Client
 }
 
@@ -32,26 +43,137 @@ func NewClient(base string) *Client {
 	return &Client{Base: strings.TrimRight(base, "/")}
 }
 
-// httpClient returns the effective transport.
-func (c *Client) httpClient() *http.Client {
+// newTransport builds an http.Transport with bounded connect and TLS
+// handshake phases; responseHeader bounds the wait for response HEADERS
+// only (0 = unbounded, for requests that block server-side until a job
+// completes). Deliberately no http.Client.Timeout: that would cap the
+// whole exchange including the body read, and outcomes can be large and
+// slow to produce.
+func newTransport(responseHeader time.Duration) *http.Transport {
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ResponseHeaderTimeout: responseHeader,
+		MaxIdleConns:          16,
+		IdleConnTimeout:       90 * time.Second,
+	}
+}
+
+// shortOpClient serves the quick control-plane calls (submit-async,
+// status polls, cancel, stored-result fetches): the server answers these
+// immediately, so a 30s header timeout only fires when it is genuinely
+// stuck. longOpClient serves wait=true submissions, whose headers
+// legitimately arrive only when the simulation finishes.
+var (
+	shortOpClient = &http.Client{Transport: newTransport(30 * time.Second)}
+	longOpClient  = &http.Client{Transport: newTransport(0)}
+)
+
+// httpClient returns the effective transport for a call; long selects
+// the unbounded-header client used by synchronous submissions.
+func (c *Client) httpClient(long bool) *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	if long {
+		return longOpClient
+	}
+	return shortOpClient
+}
+
+// Retry schedule: up to retryMax retries after the initial attempt,
+// exponential from retryBase, capped, with jitter so a fleet of clients
+// bounced by one shedding daemon does not reconverge in lockstep.
+const (
+	retryMax  = 4
+	retryBase = 200 * time.Millisecond
+	retryCap  = 5 * time.Second
+)
+
+// backoffDelay returns the sleep before retry attempt (0-based), taking
+// the server's Retry-After hint as a floor when present.
+func backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := retryBase << attempt
+	if d > retryCap {
+		d = retryCap
+	}
+	// Full jitter over [d/2, d).
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (0 if absent
+// or not an integer — the HTTP-date form is not worth parsing here).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying: 429
+// (rate limited) and 503 (shedding or draining) are explicitly transient
+// and carry Retry-After.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// do issues one JSON request with retries. body is re-marshaled bytes
+// (safe to resend); out receives the decoded success body.
+func (c *Client) do(method, path string, body []byte, out any, long bool) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var reqBody io.Reader
+		if body != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.Base+path, reqBody)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient(long).Do(req)
+		var retryAfter time.Duration
+		if err == nil {
+			if !retryableStatus(resp.StatusCode) {
+				return decodeResponse(resp, out)
+			}
+			retryAfter = parseRetryAfter(resp)
+			lastErr = decodeResponse(resp, nil)
+		} else {
+			lastErr = err
+		}
+		if attempt >= retryMax {
+			return lastErr
+		}
+		time.Sleep(backoffDelay(attempt, retryAfter))
+	}
 }
 
 // Submit posts a job and returns its accepted status without waiting.
 func (c *Client) Submit(spec jobs.Spec, priority int) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority}, &out)
+	err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority}, &out, false)
 	return out, err
 }
 
 // RunSync posts a job with wait=true and returns the completed outcome —
-// served from the daemon's result store if the work was done before.
+// served from the daemon's result store if the work was done before. The
+// call holds its connection open for the duration of the simulation (no
+// response-header timeout applies).
 func (c *Client) RunSync(spec jobs.Spec, priority int) (*jobs.Outcome, error) {
 	var out jobs.Outcome
-	if err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority, Wait: true}, &out); err != nil {
+	if err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority, Wait: true}, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -61,6 +183,15 @@ func (c *Client) RunSync(spec jobs.Spec, priority int) (*jobs.Outcome, error) {
 func (c *Client) Job(id string) (jobs.Status, error) {
 	var out jobs.Status
 	err := c.get("/jobs/"+id, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a job by ID (DELETE /jobs/{id}) and
+// returns the job's snapshot at acceptance. A running job settles
+// asynchronously — poll Job until it leaves the running state.
+func (c *Client) Cancel(id string) (jobs.Status, error) {
+	var out jobs.Status
+	err := c.do(http.MethodDelete, "/jobs/"+id, nil, &out, false)
 	return out, err
 }
 
@@ -93,25 +224,17 @@ func (c *Client) WaitJob(id string, interval time.Duration, onPoll func(jobs.Sta
 }
 
 // post sends a JSON body and decodes a JSON response into out.
-func (c *Client) post(path string, body, out any) error {
+func (c *Client) post(path string, body, out any, long bool) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
+	return c.do(http.MethodPost, path, data, out, long)
 }
 
 // get decodes a JSON response into out.
 func (c *Client) get(path string, out any) error {
-	resp, err := c.httpClient().Get(c.Base + path)
-	if err != nil {
-		return err
-	}
-	return decodeResponse(resp, out)
+	return c.do(http.MethodGet, path, nil, out, false)
 }
 
 // decodeResponse maps non-2xx responses to errors (surfacing the daemon's

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter for POST /jobs: each
+// client key (remote IP) accrues rate tokens per second up to burst, and
+// a submission spends one. A full bucket means the client has been idle
+// long enough to be forgotten, which is what the periodic prune reclaims —
+// so the map is bounded by the number of clients active within a prune
+// interval, not by every address ever seen.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
+}
+
+// bucket is one client's token balance at its last refill instant.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// pruneInterval bounds how often the limiter sweeps idle (full) buckets.
+const pruneInterval = time.Minute
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow refills key's bucket to now and spends one token, reporting
+// whether one was available.
+func (l *limiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if l.lastPrune.IsZero() {
+		l.lastPrune = now
+	} else if now.Sub(l.lastPrune) >= pruneInterval {
+		l.lastPrune = now
+		for k, ob := range l.buckets {
+			if ob != b && ob.tokens+now.Sub(ob.last).Seconds()*l.rate >= l.burst {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientKey buckets requests by remote IP (the host part of RemoteAddr;
+// the whole string if it does not parse, e.g. in httptest setups).
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"grasp/internal/jobs"
@@ -37,23 +39,62 @@ type SubmitResponse struct {
 	ResultURL string `json:"result_url"`
 }
 
-// Server handles graspd's REST endpoints. Create with New; it implements
-// http.Handler.
-type Server struct {
-	mgr     *jobs.Manager
-	mux     *http.ServeMux
-	started time.Time
+// Options tunes the server's overload-protection behaviors; the zero
+// value disables them all (New's behavior).
+type Options struct {
+	// RatePerSec bounds each client's POST /jobs submissions per second
+	// with a token bucket; exceeding it returns 429 + Retry-After.
+	// 0 disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket depth — how many submissions a client can
+	// issue back-to-back before the per-second rate governs (minimum 1).
+	Burst int
+	// RetryAfter is the hint sent with 429 and 503 responses; 0 defaults
+	// to 1 second.
+	RetryAfter time.Duration
 }
 
-// New wires the endpoints over the manager.
-func New(mgr *jobs.Manager) *Server {
+// Server handles graspd's REST endpoints. Create with New or NewWith; it
+// implements http.Handler.
+type Server struct {
+	mgr         *jobs.Manager
+	mux         *http.ServeMux
+	started     time.Time
+	lim         *limiter
+	retryAfter  time.Duration
+	rateLimited atomic.Uint64
+}
+
+// New wires the endpoints over the manager with no rate limiting.
+func New(mgr *jobs.Manager) *Server { return NewWith(mgr, Options{}) }
+
+// NewWith wires the endpoints over the manager with the given overload
+// options.
+func NewWith(mgr *jobs.Manager, opts Options) *Server {
 	s := &Server{mgr: mgr, mux: http.NewServeMux(), started: time.Now()}
+	if opts.RatePerSec > 0 {
+		s.lim = newLimiter(opts.RatePerSec, opts.Burst)
+	}
+	s.retryAfter = opts.RetryAfter
+	if s.retryAfter <= 0 {
+		s.retryAfter = time.Second
+	}
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /results/{hash}", s.handleResult)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// retryableError writes an error with a Retry-After hint, telling
+// well-behaved clients when to come back (both 429 and 503 responses
+// carry it).
+func (s *Server) retryableError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+	httpError(w, code, err)
 }
 
 // ServeHTTP implements http.Handler.
@@ -67,6 +108,11 @@ const maxSubmitBody = 1 << 20
 
 // handleSubmit implements POST /jobs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.lim != nil && !s.lim.allow(clientKey(r.RemoteAddr), time.Now()) {
+		s.rateLimited.Add(1)
+		s.retryableError(w, http.StatusTooManyRequests, errors.New("submission rate limit exceeded"))
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody))
 	dec.DisallowUnknownFields()
@@ -81,11 +127,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, disp, err := s.mgr.Submit(req.Spec, req.Priority)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, jobs.ErrDraining) {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, jobs.ErrDraining):
+			s.retryableError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, jobs.ErrOverloaded):
+			// Load shedding: the backlog is full, the submission had no
+			// effect, and Retry-After tells the client when to try again.
+			s.retryableError(w, http.StatusServiceUnavailable, err)
+		default:
+			httpError(w, http.StatusBadRequest, err)
 		}
-		httpError(w, code, err)
 		return
 	}
 	if req.Wait {
@@ -97,14 +148,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		st := j.Status()
 		if st.State == jobs.StateFailed {
-			// A job failed out by the drain sequence is a transient
-			// condition, not a spec error: report it as 503 like every
-			// other draining response so clients retry elsewhere.
-			code := http.StatusUnprocessableEntity
-			if st.Error == jobs.ErrDraining.Error() {
-				code = http.StatusServiceUnavailable
-			}
-			httpError(w, code, errors.New(st.Error))
+			httpError(w, waitFailureCode(st.Error), errors.New(st.Error))
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Outcome())
@@ -119,6 +163,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Disposition: disp,
 		ResultURL:   "/results/" + j.Hash,
 	})
+}
+
+// waitFailureCode maps a waited-on job's terminal error to a status code:
+// drain preemption is a transient condition (503, retry elsewhere), a
+// cancellation raced the waiter (409), a deadline is the gateway-timeout
+// shape (504), and anything else is a spec/execution error (422).
+func waitFailureCode(msg string) int {
+	switch msg {
+	case jobs.ErrDraining.Error():
+		return http.StatusServiceUnavailable
+	case jobs.ErrCanceled.Error():
+		return http.StatusConflict
+	case jobs.ErrTimeout.Error():
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// handleCancel implements DELETE /jobs/{id}: 404 for unknown IDs, 409
+// when the job already reached a terminal state (nothing to cancel — the
+// outcome, if any, stands), 200 with the job's snapshot once the
+// cancellation is accepted. A queued job settles immediately; a running
+// one is preempted at its next cancellation point, so the snapshot may
+// still say "running" — poll GET /jobs/{id} for the terminal state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.Cancel(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if !ok {
+		st := j.Status()
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s already %s", st.ID, st.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 // handleJob implements GET /jobs/{id}.
@@ -141,19 +221,39 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, o)
 }
 
-// handleHealthz implements GET /healthz: 200 "ok" while serving, 503
-// "draining" once shutdown has begun (so load balancers stop routing to a
-// daemon that is finishing its last jobs).
+// handleHealthz implements GET /healthz — LIVENESS: it answers 200 as
+// long as the process can serve HTTP at all, including while draining or
+// degraded, because restarting a daemon that is finishing its last jobs
+// or merely failing disk writes would make things worse, not better. The
+// body carries the conditions (draining, degraded) for operators;
+// routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	status, code := "ok", http.StatusOK
+	status := "ok"
 	if s.mgr.Draining() {
-		status, code = "draining", http.StatusServiceUnavailable
+		status = "draining"
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
+		"degraded":       s.mgr.Degraded(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"workers":        s.mgr.Workers(),
 	})
+}
+
+// handleReadyz implements GET /readyz — READINESS: 503 while the daemon
+// should not receive new traffic (draining toward shutdown, or the queue
+// at its shed limit), 200 otherwise. Load balancers route on this; the
+// process staying alive through a 503 here is exactly the point of the
+// liveness/readiness split.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.mgr.Draining():
+		s.retryableError(w, http.StatusServiceUnavailable, errors.New("draining"))
+	case s.mgr.Overloaded():
+		s.retryableError(w, http.StatusServiceUnavailable, errors.New("queue full"))
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 // handleMetrics implements GET /metrics in Prometheus text exposition
@@ -175,6 +275,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("jobs_failed_total", "Executions that errored (incl. drained queue entries).", m.Failed)
 	counter("result_store_hits_total", "Submissions served from the persistent result store.", m.StoreHits)
 	counter("inflight_dedup_hits_total", "Submissions merged onto an identical in-flight job.", m.DedupHits)
+	counter("jobs_panics_total", "Job executions that panicked and were contained.", m.Panics)
+	counter("jobs_canceled_total", "Honored job cancellation requests.", m.Canceled)
+	counter("jobs_shed_total", "Submissions rejected at the queue-depth limit.", m.Shed)
+	counter("jobs_requeued_total", "Journaled jobs re-enqueued by crash recovery at boot.", m.Requeued)
+	counter("jobs_store_errors_total", "Failed result-store disk writes.", m.StoreErrors)
+	counter("jobs_journal_errors_total", "Failed journal appends.", m.JournalErrors)
+	counter("rate_limited_total", "Submissions rejected by the per-client rate limit.", s.rateLimited.Load())
 	counter("sim_runs_total", "Distinct sim.Run invocations across all sessions.", m.SimRuns)
 	counter("broadcast_groups_total", "Recording groups served via decode-once broadcast replay.", m.BroadcastGroups)
 	counter("broadcast_replays_total", "Completed broadcast fan-outs (incl. OPT-study prefix replays).", m.BroadcastReplays)
@@ -184,6 +291,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("jobs_running", "Jobs currently simulating.", float64(m.Running))
 	gauge("stored_outcomes", "Outcomes in the persistent result store.", float64(m.StoredOutcomes))
 	gauge("cached_graph_files", "Parsed file graphs shared across requests.", float64(m.CachedGraphFiles))
+	degraded := 0.0
+	if m.Degraded {
+		degraded = 1
+	}
+	gauge("degraded", "1 when any persistence write has failed (store or journal).", degraded)
 	gauge("workers", "Worker pool size (concurrency bound).", float64(s.mgr.Workers()))
 	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
 }

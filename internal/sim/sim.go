@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -151,6 +152,62 @@ func (r Result) MissReductionPctOver(base Result) float64 {
 
 // Run executes one (app, layout, policy) simulation on the workload.
 func Run(w *Workload, spec Spec) (Result, error) {
+	return RunCtx(context.Background(), w, spec)
+}
+
+// cancelPollInterval is how many accesses a cancellable direct run lets
+// pass between context polls — the same cadence as the Recorder's poll,
+// so a cancelled simulation unwinds within one chunk's worth of accesses
+// on either path.
+const cancelPollInterval = 1 << 16
+
+// cancelSink interposes a context poll in front of another sink. It only
+// exists on cancellable runs: wrapping the hierarchy forfeits the
+// tracer's monomorphized *cache.Hierarchy fast path, which background-
+// context callers (goldens, benches, local graspsim) must keep, so RunCtx
+// installs it solely when ctx can actually be cancelled.
+type cancelSink struct {
+	sink mem.Sink
+	ctx  context.Context
+	done <-chan struct{}
+	poll int
+}
+
+// Access implements mem.Sink: poll the context every cancelPollInterval
+// accesses, then forward.
+func (c *cancelSink) Access(a mem.Access) {
+	if c.poll--; c.poll <= 0 {
+		c.poll = cancelPollInterval
+		select {
+		case <-c.done:
+			trace.PanicAbort(trace.ContextErr(c.ctx))
+		default:
+		}
+	}
+	c.sink.Access(a)
+}
+
+// recoverAbort converts the cancellation sentinel (trace.PanicAbort) back
+// into an error return; any other panic keeps propagating. Deferred by
+// the Ctx variants around the application execution they cannot otherwise
+// interrupt.
+func recoverAbort(err *error) {
+	if p := recover(); p != nil {
+		if aerr, ok := trace.AbortError(p); ok {
+			*err = aerr
+			return
+		}
+		panic(p)
+	}
+}
+
+// RunCtx is Run with cooperative cancellation. The application drives
+// the access stream and offers no return path, so cancellation unwinds
+// the execution via the trace.PanicAbort sentinel, recovered here and
+// returned as the context's error. With a non-cancellable context (nil
+// Done) this is byte-for-byte Run: no wrapper sink, no poll, the exact
+// monomorphized tracer fast path.
+func RunCtx(ctx context.Context, w *Workload, spec Spec) (res Result, err error) {
 	pinfo, err := PolicyByName(spec.Policy)
 	if err != nil {
 		return Result{}, err
@@ -175,8 +232,13 @@ func Run(w *Workload, spec Spec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var sink mem.Sink = h
+	if done := ctx.Done(); done != nil {
+		sink = &cancelSink{sink: h, ctx: ctx, done: done, poll: cancelPollInterval}
+		defer recoverAbort(&err)
+	}
 	start := time.Now()
-	app.Run(ligra.NewTracer(h))
+	app.Run(ligra.NewTracer(sink))
 	elapsed := time.Since(start)
 	return Result{
 		Spec:     spec,
@@ -204,6 +266,16 @@ func RecordTrace(w *Workload, appName string, layout apps.Layout, hcfg cache.Hie
 // consumers like the OPT study without holding (or spilling) the full
 // stream; they must NOT back full-result replays.
 func RecordTraceN(w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig, limit int64) (*trace.Trace, error) {
+	return RecordTraceNCtx(context.Background(), w, appName, layout, hcfg, limit)
+}
+
+// RecordTraceNCtx is RecordTraceN with cooperative cancellation: the
+// recorder polls the context as it encodes and unwinds the application
+// with the abort sentinel once it is cancelled; the partial recording is
+// abandoned (resident bytes and spill space released) and the context's
+// error returned. A non-cancellable context records exactly as before —
+// the recorder's hot path gains one nil check per access.
+func RecordTraceNCtx(ctx context.Context, w *Workload, appName string, layout apps.Layout, hcfg cache.HierarchyConfig, limit int64) (tr *trace.Trace, err error) {
 	fg := ligra.NewGraph(w.Graph)
 	app, err := apps.New(appName, fg, layout)
 	if err != nil {
@@ -214,6 +286,19 @@ func RecordTraceN(w *Workload, appName string, layout apps.Layout, hcfg cache.Hi
 		return nil, err
 	}
 	rec.SetLimit(limit)
+	if ctx.Done() != nil {
+		rec.SetContext(ctx)
+		defer func() {
+			if p := recover(); p != nil {
+				aerr, ok := trace.AbortError(p)
+				if !ok {
+					panic(p)
+				}
+				rec.Abandon()
+				tr, err = nil, aerr
+			}
+		}()
+	}
 	start := time.Now()
 	app.Run(ligra.NewTracer(rec))
 	return rec.Finish(time.Since(start))
@@ -252,6 +337,12 @@ func NewReplayLLC(llcCfg cache.Config, pinfo PolicyInfo, abrArrays [][2]uint64) 
 // one execution across every policy, so per-policy app wall-clock does not
 // exist on this path).
 func ReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64) (Result, error) {
+	return ReplayResultCtx(context.Background(), tr, spec, workloadName, abrArrays)
+}
+
+// ReplayResultCtx is ReplayResult with cooperative cancellation,
+// delegated to the trace's per-chunk context check.
+func ReplayResultCtx(ctx context.Context, tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64) (Result, error) {
 	pinfo, err := PolicyByName(spec.Policy)
 	if err != nil {
 		return Result{}, err
@@ -260,7 +351,7 @@ func ReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][
 	if err != nil {
 		return Result{}, err
 	}
-	if err := tr.Replay(llc); err != nil {
+	if err := tr.ReplayNCtx(ctx, llc, 0); err != nil {
 		return Result{}, err
 	}
 	return Result{
@@ -298,6 +389,14 @@ func ReplayStats(tr *trace.Trace, llcCfg cache.Config, pinfo PolicyInfo, abrArra
 // multi-core hosts. The specs may differ in policy AND LLC geometry (the
 // recording is valid for any LLC configuration).
 func BroadcastResults(tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64) ([]Result, error) {
+	return BroadcastResultsCtx(context.Background(), tr, specs, workloadName, abrArrays)
+}
+
+// BroadcastResultsCtx is BroadcastResults with cooperative cancellation:
+// the fan-out's producer checks the context per decoded chunk, so a
+// cancelled N-policy sweep stops within one chunk boundary across all N
+// replays at once.
+func BroadcastResultsCtx(ctx context.Context, tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64) ([]Result, error) {
 	llcs := make([]*cache.Cache, len(specs))
 	consumers := make([]func([]mem.Access), len(specs))
 	for i, spec := range specs {
@@ -316,7 +415,7 @@ func BroadcastResults(tr *trace.Trace, specs []Spec, workloadName string, abrArr
 			}
 		}
 	}
-	if err := tr.Broadcast(consumers); err != nil {
+	if err := tr.BroadcastNCtx(ctx, 0, consumers); err != nil {
 		return nil, err
 	}
 	out := make([]Result, len(specs))

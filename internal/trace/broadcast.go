@@ -19,10 +19,14 @@
 package trace
 
 import (
+	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"grasp/internal/cache"
+	"grasp/internal/fail"
 	"grasp/internal/mem"
 )
 
@@ -66,6 +70,20 @@ func (t *Trace) Broadcast(consumers []func(accs []mem.Access)) error {
 // BroadcastN is Broadcast over at most limit accesses (limit <= 0: all) —
 // the OPT study fans its bounded-prefix replays out this way.
 func (t *Trace) BroadcastN(limit int64, consumers []func(accs []mem.Access)) error {
+	return t.BroadcastNCtx(context.Background(), limit, consumers)
+}
+
+// BroadcastNCtx is BroadcastN with cooperative cancellation and fault
+// containment. The producer checks the context once per chunk, so a
+// cancelled fan-out stops decoding within one chunk boundary (the
+// consumers then drain their bounded channels and exit). A panic inside a
+// consumer is recovered ON the consumer goroutine — letting it escape
+// would kill the whole process — and the goroutine keeps draining its
+// channel, dropping slab references without applying them, because the
+// producer blocks on slab reuse and a consumer that simply died would
+// deadlock it. The first panic is reported as the fan-out's error, stack
+// attached.
+func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func(accs []mem.Access)) error {
 	if t.destroyed.Load() {
 		return errReleased
 	}
@@ -86,25 +104,53 @@ func (t *Trace) BroadcastN(limit int64, consumers []func(accs []mem.Access)) err
 		// slab is in each channel at most once, so sends below never block.
 		chans[i] = make(chan *slab, broadcastSlabs)
 	}
+	var panicErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	for i := range consumers {
 		wg.Add(1)
 		go func(ch chan *slab, fn func([]mem.Access)) {
 			defer wg.Done()
+			dead := false
 			for s := range ch {
-				fn(s.accs)
+				if !dead {
+					func() {
+						defer func() {
+							if p := recover(); p != nil {
+								dead = true
+								err := fmt.Errorf("trace: broadcast consumer panicked: %v\n%s", p, debug.Stack())
+								panicErr.CompareAndSwap(nil, &err)
+							}
+						}()
+						fn(s.accs)
+					}()
+				}
 				if s.refs.Add(-1) == 0 {
 					free <- s
 				}
 			}
 		}(chans[i], consumers[i])
 	}
+	ctxDone := ctx.Done()
 	var scratch []uint64
 	var buf []byte
 	var lastBlock uint64
 	var done int64
 	var err error
 	for ci := 0; ci < len(t.chunks) && done < limit; ci++ {
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				err = ContextErr(ctx)
+			default:
+			}
+			if err != nil {
+				break
+			}
+		}
+		if err = fail.Hit("trace.replay.chunk"); err != nil {
+			err = fmt.Errorf("trace: replay: %w", err)
+			break
+		}
 		var words []uint64
 		words, err = t.materialize(ci, &scratch, &buf)
 		if err != nil {
@@ -122,6 +168,9 @@ func (t *Trace) BroadcastN(limit int64, consumers []func(accs []mem.Access)) err
 	}
 	wg.Wait()
 	if err == nil {
+		if pe := panicErr.Load(); pe != nil {
+			return *pe
+		}
 		broadcastRuns.Add(1)
 		broadcastConsumers.Add(uint64(n))
 	}

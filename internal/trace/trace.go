@@ -21,6 +21,7 @@
 package trace
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -29,8 +30,54 @@ import (
 	"time"
 
 	"grasp/internal/cache"
+	"grasp/internal/fail"
 	"grasp/internal/mem"
 )
+
+// ContextErr renders a cancelled context as an error that still matches
+// errors.Is(err, ctx.Err()) — so layered retry logic can recognize any
+// cancellation generically — while carrying the richer cancel cause (a
+// job deadline, an explicit DELETE, a preempting shutdown) in the
+// message. It returns nil while ctx is live. The cancellation machinery
+// of every layer (recorder aborts, replay chunk checks, session
+// datapoint checks, the job manager) reports through this one shape.
+func ContextErr(ctx context.Context) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && cause != err {
+		return fmt.Errorf("%w: %w", err, cause)
+	}
+	return err
+}
+
+// recordAbort is the panic payload that unwinds a traced application
+// execution from inside its memory sink: the application drives accesses
+// into the tracer and offers no return path, so the only way to stop it
+// at a cancellation point is to unwind its goroutine. sim-level Ctx
+// wrappers recover exactly this type (via AbortError) and convert it back
+// into the cancellation error; any other panic keeps propagating.
+type recordAbort struct{ err error }
+
+// PanicAbort unwinds the calling goroutine with the cancellation
+// sentinel. Sinks embedded in an application execution (the Recorder's
+// own context poll, sim's cancellable direct-run sink) call it when their
+// context dies.
+func PanicAbort(err error) { panic(recordAbort{err: err}) }
+
+// AbortError recognizes a recovered cancellation sentinel, returning the
+// cancellation error it carried.
+func AbortError(p any) (error, bool) {
+	a, ok := p.(recordAbort)
+	return a.err, ok
+}
+
+// ctxPollInterval is how many accesses a context-carrying Recorder lets
+// pass between context polls: frequent enough that a cancelled recording
+// unwinds within a chunk's worth of accesses, rare enough that the poll
+// never shows up next to the per-access L1/L2 filter work.
+const ctxPollInterval = chunkWords
 
 // Word layout of a compact record (LSB first):
 //
@@ -129,6 +176,10 @@ type Recorder struct {
 	spillOff  int64
 	spillBuf  []byte // reused encode buffer for spilled chunks
 	err       error
+
+	ctxDone <-chan struct{} // non-nil: poll for cancellation while recording
+	ctx     context.Context
+	poll    int
 }
 
 // NewRecorder creates a recorder whose Access method filters through L1/L2
@@ -160,6 +211,32 @@ func (r *Recorder) SetMemoryOverride(n int64) {
 	r.budget = n
 }
 
+// SetContext attaches a cancellation context: Access polls it every
+// ctxPollInterval accesses and, once it is cancelled, unwinds the
+// application execution with the PanicAbort sentinel (the caller driving
+// app.Run must recover it — sim.RecordTraceNCtx does). A nil or
+// non-cancellable context leaves the recorder's hot path exactly as
+// before: one nil check per access.
+func (r *Recorder) SetContext(ctx context.Context) {
+	if ctx == nil {
+		r.ctx, r.ctxDone = nil, nil
+		return
+	}
+	r.ctx, r.ctxDone = ctx, ctx.Done()
+	r.poll = ctxPollInterval
+}
+
+// pollCtx is the slow half of the per-access context check: reset the
+// countdown and unwind if the context died.
+func (r *Recorder) pollCtx() {
+	r.poll = ctxPollInterval
+	select {
+	case <-r.ctxDone:
+		PanicAbort(ContextErr(r.ctx))
+	default:
+	}
+}
+
 // SetLimit caps how many accesses the recorder encodes; the rest of the
 // stream still runs the L1/L2 filter (keeping the recorded prefix exactly
 // what an unlimited recording would start with) but is not stored. A
@@ -171,6 +248,11 @@ func (r *Recorder) SetLimit(n int64) { r.limit = n }
 // LLC-bound, is encoded. With no filter (NewRawRecorder) every access is
 // encoded.
 func (r *Recorder) Access(a mem.Access) {
+	if r.ctxDone != nil {
+		if r.poll--; r.poll <= 0 {
+			r.pollCtx()
+		}
+	}
 	if r.upper != nil && r.upper.Filter(a) {
 		return
 	}
@@ -296,6 +378,11 @@ func (r *Recorder) spillChunk() {
 	for i, w := range r.cur {
 		binary.LittleEndian.PutUint64(buf[i*8:], w)
 	}
+	if err := fail.Hit("trace.spill.write"); err != nil {
+		r.err = fmt.Errorf("trace: spill: %w", err)
+		r.cur = r.cur[:0]
+		return
+	}
 	if _, err := r.spill.WriteAt(buf, r.spillOff); err != nil {
 		r.err = fmt.Errorf("trace: spill: %w", err)
 		r.cur = r.cur[:0]
@@ -304,6 +391,23 @@ func (r *Recorder) spillChunk() {
 	r.chunks = append(r.chunks, chunk{off: r.spillOff, n: len(r.cur)})
 	r.spillOff += int64(len(buf))
 	r.cur = r.cur[:0]
+}
+
+// Abandon discards an unfinished recording: resident bytes return to the
+// package budget and the spill file closes. Callers that unwound the
+// traced application before Finish (a cancelled recording) must call it —
+// a Recorder has no finalizer, only the Trace minted by Finish does. The
+// recorder must not be used afterwards.
+func (r *Recorder) Abandon() {
+	memoryInUse.Add(-r.ramBytes)
+	r.ramBytes = 0
+	r.chunks = nil
+	r.cur = nil
+	if r.spill != nil {
+		os.Remove(r.spill.Name()) // no-op where unlink-at-create succeeded
+		r.spill.Close()
+		r.spill = nil
+	}
 }
 
 // Finish seals the recording into an immutable Trace carrying the upper
@@ -457,6 +561,9 @@ func (t *Trace) materialize(ci int, scratch *[]uint64, buf *[]byte) ([]uint64, e
 		*buf = make([]byte, chunkWords*8)
 	}
 	b := (*buf)[:need]
+	if err := fail.Hit("trace.spill.read"); err != nil {
+		return nil, fmt.Errorf("trace: spill read: %w", err)
+	}
 	if _, err := t.spill.ReadAt(b, c.off); err != nil {
 		return nil, fmt.Errorf("trace: spill read: %w", err)
 	}
@@ -480,12 +587,22 @@ func (t *Trace) Replay(llc *cache.Cache) error { return t.ReplayN(llc, 0) }
 // The OPT study replays the same bounded prefix the dedicated
 // trace-collection path used to record (exp's optTraceCap).
 func (t *Trace) ReplayN(llc *cache.Cache, limit int64) error {
+	return t.ReplayNCtx(context.Background(), llc, limit)
+}
+
+// ReplayNCtx is ReplayN with cooperative cancellation: the context is
+// checked once per chunk (65536 words ≈ half a million cycles of LLC
+// simulation), so a cancelled replay returns within one chunk boundary
+// while the decode loop itself stays closure-free and check-free. A
+// background context compiles down to one nil-channel test per chunk.
+func (t *Trace) ReplayNCtx(ctx context.Context, llc *cache.Cache, limit int64) error {
 	if t.destroyed.Load() {
 		return errReleased
 	}
 	if limit <= 0 || limit > t.n {
 		limit = t.n
 	}
+	ctxDone := ctx.Done()
 	var scratch []uint64
 	var buf []byte
 	var lastBlock uint64
@@ -493,6 +610,16 @@ func (t *Trace) ReplayN(llc *cache.Cache, limit int64) error {
 	for ci := range t.chunks {
 		if done >= limit {
 			break
+		}
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return ContextErr(ctx)
+			default:
+			}
+		}
+		if err := fail.Hit("trace.replay.chunk"); err != nil {
+			return fmt.Errorf("trace: replay: %w", err)
 		}
 		words, err := t.materialize(ci, &scratch, &buf)
 		if err != nil {
