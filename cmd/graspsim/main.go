@@ -38,6 +38,7 @@ import (
 	"grasp/internal/jobs"
 	"grasp/internal/server"
 	"grasp/internal/sim"
+	"grasp/internal/stats"
 )
 
 // options carries every graspsim flag; newFlags binds them so main and
@@ -51,6 +52,8 @@ type options struct {
 	app        string
 	policy     string
 	reorder    string
+	fidelity   string
+	sampleK    uint
 	remote     string
 	priority   int
 	timeout    time.Duration
@@ -79,6 +82,13 @@ const usageExamples = `Examples:
   graspsim -remote localhost:8337 -exp fig2 -scale 64
                                        experiments work remotely too
 
+  graspsim -graph tw -app PR -policy GRASP -fidelity sampled -sample-k 16
+                                       fast tier: simulate 1/16 of the LLC sets,
+                                       print the estimated miss ratio with a 95% CI
+  graspsim -exp fig2 -scale 16 -fidelity sampled
+                                       sampled sweep of an experiment's datapoints
+                                       (estimates with error bars, not paper numbers)
+
   graspsim -exp fig5 -scale 8 -cpuprofile cpu.pprof -memprofile mem.pprof
                                        profile the engine (go tool pprof cpu.pprof)
 `
@@ -99,6 +109,10 @@ func newFlags() (*flag.FlagSet, *options) {
 		fmt.Sprintf("-graph mode: application, one of %v", apps.ExtendedNames()))
 	fs.StringVar(&o.policy, "policy", "GRASP", "-graph mode: LLC policy (see sim.Policies)")
 	fs.StringVar(&o.reorder, "reorder", "DBG", "-graph mode: reordering technique")
+	fs.StringVar(&o.fidelity, "fidelity", "full",
+		"simulation tier: 'full' (exact) or 'sampled' (simulate 1/K of the LLC sets, report estimates with a 95% CI)")
+	fs.UintVar(&o.sampleK, "sample-k", 0,
+		"sampled fidelity: set-sampling divisor K, a power of two (0 = default 16); 1 is exact")
 	fs.StringVar(&o.remote, "remote", "",
 		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
 	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
@@ -198,6 +212,26 @@ func realMain(o *options) int {
 		return 0
 	}
 
+	switch o.fidelity {
+	case jobs.FidelityFull:
+		if o.sampleK != 0 {
+			fmt.Fprintln(os.Stderr, "graspsim: -sample-k requires -fidelity sampled")
+			return 1
+		}
+	case jobs.FidelitySampled:
+		if o.sampleK == 0 {
+			o.sampleK = jobs.DefaultSampleK
+		}
+		if o.sampleK&(o.sampleK-1) != 0 {
+			fmt.Fprintf(os.Stderr, "graspsim: -sample-k %d is not a power of two\n", o.sampleK)
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "graspsim: unknown -fidelity %q (want %q or %q)\n",
+			o.fidelity, jobs.FidelityFull, jobs.FidelitySampled)
+		return 1
+	}
+
 	stopProfiles, err := startProfiles(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graspsim:", err)
@@ -222,7 +256,21 @@ func realMain(o *options) int {
 	}
 
 	if o.graphSpec != "" {
-		if err := runSingle(o.graphSpec, o.app, o.policy, o.reorder, uint32(o.scale)); err != nil {
+		var err error
+		if o.fidelity == jobs.FidelitySampled {
+			err = runSingleSampled(o)
+		} else {
+			err = runSingle(o.graphSpec, o.app, o.policy, o.reorder, uint32(o.scale))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graspsim:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if o.fidelity == jobs.FidelitySampled {
+		if err := runSampledSweep(o, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
 			return 1
 		}
@@ -276,22 +324,29 @@ func realMain(o *options) int {
 	record.Phases["render"] = render
 
 	if o.benchJSON != "" {
-		path := o.benchJSON
-		if path == "auto" {
-			path = fmt.Sprintf("BENCH_%s.json", record.Date)
-		}
-		data, err := json.MarshalIndent(record, "", "  ")
-		if err != nil {
+		if err := writeBenchRecord(o.benchJSON, record); err != nil {
 			fmt.Fprintln(os.Stderr, "graspsim:", err)
 			return 1
 		}
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "graspsim:", err)
-			return 1
-		}
-		fmt.Fprintf(os.Stderr, "graspsim: wall-clock record written to %s\n", path)
 	}
 	return 0
+}
+
+// writeBenchRecord persists one -bench-json snapshot ("auto" derives the
+// dated default filename).
+func writeBenchRecord(path string, record benchRecord) error {
+	if path == "auto" {
+		path = fmt.Sprintf("BENCH_%s.json", record.Date)
+	}
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "graspsim: wall-clock record written to %s\n", path)
+	return nil
 }
 
 // selectExperiments resolves the -exp flag value to experiment structs.
@@ -319,9 +374,21 @@ func runRemote(o *options, w io.Writer) error {
 	if o.graphSpec != "" {
 		spec := jobs.Spec{Kind: jobs.KindSingle, Graph: o.graphSpec, App: o.app,
 			Policy: o.policy, Reorder: o.reorder, Scale: uint32(o.scale), TimeoutS: timeoutS}
+		if o.fidelity == jobs.FidelitySampled {
+			// Only spelled out for the sampled tier: a full-fidelity request
+			// keeps its pre-fidelity wire shape (and content address).
+			spec.Fidelity, spec.SampleK = o.fidelity, uint32(o.sampleK)
+		}
 		outcome, err := client.RunSync(spec, o.priority)
 		if err != nil {
 			return err
+		}
+		if outcome.Sampled != nil {
+			r := *outcome.Sampled
+			fmt.Fprintf(w, "workload: %s app=%s reorder=%s policy=%s (remote sampled 1/%d, %.2fs simulated)\n",
+				r.Workload, o.app, o.reorder, o.policy, r.SampleK, outcome.Elapsed)
+			printSampledMetrics(w, r)
+			return nil
 		}
 		if outcome.Single == nil {
 			return fmt.Errorf("daemon returned no single-run metrics for %s", outcome.Hash)
@@ -330,6 +397,9 @@ func runRemote(o *options, w io.Writer) error {
 			outcome.Single.Workload, o.app, o.reorder, o.policy, outcome.Elapsed)
 		printMetrics(w, *outcome.Single)
 		return nil
+	}
+	if o.fidelity == jobs.FidelitySampled {
+		return fmt.Errorf("-fidelity sampled applies to single runs on the daemon (-graph); experiment sweeps sample locally only")
 	}
 	exps, err := selectExperiments(o.exp)
 	if err != nil {
@@ -388,6 +458,136 @@ func runSingle(spec, appName, polName, reorderName string, scale uint32) error {
 	fmt.Printf("graph:    %v\n", w.Graph)
 	printMetrics(os.Stdout, r)
 	return nil
+}
+
+// runSingleSampled is -graph mode on the set-sampled fast tier: the app is
+// recorded once behind the exact L1/L2 filter, then only 1/K of the LLC
+// sets are replayed and the whole-cache miss metrics are estimated with a
+// confidence interval (DESIGN.md Sec. 14).
+func runSingleSampled(o *options) error {
+	ds, err := graph.Resolve(o.graphSpec)
+	if err != nil {
+		return err
+	}
+	cfg := exp.DefaultConfig()
+	if o.scale > 1 {
+		cfg = exp.ScaledConfig(uint32(o.scale))
+		if ds.Kind == graph.KindFile {
+			fmt.Fprintf(os.Stderr,
+				"graspsim: note: -scale %d shrinks only the cache hierarchy; the file graph always loads at full size\n", o.scale)
+		}
+	}
+	session := exp.NewSession(cfg)
+	r, err := session.SampledResult(o.graphSpec, o.reorder, o.app, apps.LayoutMerged, o.policy, uint32(o.sampleK))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s app=%s reorder=%s policy=%s (sampled 1/%d)\n",
+		ds.Name, o.app, o.reorder, o.policy, r.SampleK)
+	printSampledMetrics(os.Stdout, r)
+	return nil
+}
+
+// runSampledSweep is -exp mode on the fast tier: every result datapoint of
+// the selected experiments is estimated from a set-sampled replay and
+// printed with its error bars. With -bench-json the same datapoints are
+// then replayed at full fidelity from the (now warm) recordings, so the
+// record captures sampled vs full replay time for the sweep.
+func runSampledSweep(o *options, w io.Writer) error {
+	exps, err := selectExperiments(o.exp)
+	if err != nil {
+		return err
+	}
+	cfg := exp.DefaultConfig()
+	if o.scale > 1 {
+		cfg = exp.ScaledConfig(uint32(o.scale))
+	}
+	session := exp.NewSession(cfg)
+	k := uint32(o.sampleK)
+	fmt.Fprintf(w, "# GRASP sampled fast tier — scale 1/%d, ~1/%d of %d LLC sets per estimate\n\n",
+		o.scale, k, cfg.HCfg.LLC.Sets())
+	record := benchRecord{
+		Date:       time.Now().Format("2006-01-02"),
+		Scale:      o.scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
+	var sweep []exp.Datapoint
+	seen := make(map[exp.Datapoint]bool)
+	for _, e := range exps {
+		var points []exp.Datapoint
+		if e.Points != nil {
+			for _, p := range e.Points() {
+				if !p.Trace {
+					points = append(points, p)
+				}
+			}
+		}
+		if len(points) == 0 {
+			fmt.Fprintf(w, "## %s — %s\n\n(declares no result datapoints; run it at full fidelity)\n\n", e.ID, e.Title)
+			continue
+		}
+		expStart := time.Now()
+		fmt.Fprintf(w, "## %s — %s (sampled estimates)\n\n", e.ID, e.Title)
+		t := stats.NewTable("Dataset", "Reorder", "App", "Policy", "EstMiss%", "±CI95", "Sets")
+		for _, p := range points {
+			r, err := session.SampledResult(p.DS, p.Reorder, p.App, p.Layout, p.Policy, k)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p.DS, p.Reorder, p.App, p.Policy,
+				fmt.Sprintf("%.2f", 100*r.Est.MissRatio),
+				fmt.Sprintf("%.2f", 100*r.Est.CI95),
+				fmt.Sprintf("%d/%d", r.Est.SampledSets, r.Est.TotalSets))
+			if !seen[p] {
+				seen[p] = true
+				sweep = append(sweep, p)
+			}
+		}
+		fmt.Fprintln(w, t)
+		elapsed := time.Since(expStart)
+		record.Experiments = append(record.Experiments,
+			benchEntry{ID: e.ID + "-sampled", Seconds: elapsed.Seconds()})
+		fmt.Fprintf(w, "(%s sampled in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+	}
+	record.TotalSeconds = time.Since(start).Seconds()
+	if o.benchJSON == "" {
+		return nil
+	}
+	// Full-fidelity pass over the identical datapoints: every group's
+	// recording is warm, so the full results ride the replay path and the
+	// session's phase counters isolate full decode+replay time against the
+	// sampled pass's — the sampled-tier speedup the bench sweep tracks.
+	for _, p := range sweep {
+		if _, err := session.Result(p.DS, p.Reorder, p.App, p.Layout, p.Policy); err != nil {
+			return err
+		}
+	}
+	phases := session.PhaseSeconds()
+	record.Phases = phases
+	record.Experiments = append(record.Experiments,
+		benchEntry{ID: "replay-sampled", Seconds: phases["sampled"]},
+		benchEntry{ID: "replay-full", Seconds: phases["replay"]})
+	if phases["sampled"] > 0 {
+		fmt.Fprintf(os.Stderr, "graspsim: replay time for %d datapoints: sampled %.3fs vs full %.3fs (%.1fx)\n",
+			len(sweep), phases["sampled"], phases["replay"], phases["replay"]/phases["sampled"])
+	}
+	return writeBenchRecord(o.benchJSON, record)
+}
+
+// printSampledMetrics renders a set-sampled estimate: exact upper levels,
+// observed sampled-set counts, and the extrapolated LLC miss metrics with
+// their 95% confidence interval.
+func printSampledMetrics(w io.Writer, r sim.SampledResult) {
+	fmt.Fprintf(w, "L1:  %9d accesses, %9d misses (%.1f%%)\n",
+		r.L1.Accesses(), r.L1.Misses, 100*r.L1.MissRatio())
+	fmt.Fprintf(w, "L2:  %9d accesses, %9d misses (%.1f%%)\n",
+		r.L2.Accesses(), r.L2.Misses, 100*r.L2.MissRatio())
+	fmt.Fprintf(w, "LLC: sampled %d/%d sets: %d accesses, %d misses observed\n",
+		r.Est.SampledSets, r.Est.TotalSets, r.Est.SampledAccesses, r.Est.SampledMisses)
+	fmt.Fprintf(w, "LLC estimate: %.2f%% ± %.2f%% miss ratio (95%% CI), ~%.0f of %d accesses\n",
+		100*r.Est.MissRatio, 100*r.Est.CI95, r.Est.EstMisses, r.Est.TotalAccesses)
+	fmt.Fprintf(w, "estimated memory time: %.0f\n", r.EstCycles)
 }
 
 // printMetrics renders the per-level cache metrics of one simulation.

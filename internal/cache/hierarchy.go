@@ -138,9 +138,16 @@ func (h *Hierarchy) MemoryCycles() float64 {
 // stats with a freshly replayed LLC's and must price them identically to a
 // live Hierarchy.
 func MemoryCyclesOf(cfg HierarchyConfig, l1, l2, llc Stats) float64 {
+	return MemoryCyclesEst(cfg, l1, l2, float64(llc.Misses))
+}
+
+// MemoryCyclesEst is MemoryCyclesOf with a fractional LLC miss count: the
+// set-sampled replay path prices its extrapolated miss estimate through
+// the exact same model, so sampled and full cycle numbers stay comparable.
+func MemoryCyclesEst(cfg HierarchyConfig, l1, l2 Stats, llcMisses float64) float64 {
 	stall := float64(l1.Misses)*float64(cfg.L2Latency) +
 		float64(l2.Misses)*float64(cfg.LLCLatency) +
-		float64(llc.Misses)*float64(cfg.MemLatency)
+		llcMisses*float64(cfg.MemLatency)
 	mlp := cfg.MLP
 	if mlp <= 0 {
 		mlp = 1

@@ -238,16 +238,18 @@ type Session struct {
 	bases      *flightCache[*graph.CSR] // loaded base graphs, shared across reorderings
 	workloads  *flightCache[*sim.Workload]
 	results    *flightCache[sim.Result]
+	sampled    *flightCache[sim.SampledResult]
 	traces     *flightCache[recording]
 	simRuns    atomic.Uint64 // number of distinct simulated result datapoints (dedup observability)
 	broadcasts atomic.Uint64 // groups whose replays were served by one broadcast decode
+	sampledRun atomic.Uint64 // distinct set-sampled estimates computed (fast-tier observability)
 
 	// phase accumulates cumulative engine nanoseconds per prefetch phase
 	// (across workers, so a multi-core batch's phases can sum past
 	// wall-clock); PhaseSeconds exposes it for the bench tooling's
 	// per-phase regression tracking.
 	phase struct {
-		load, reorder, record, replay, direct atomic.Int64
+		load, reorder, record, replay, direct, sampled atomic.Int64
 	}
 
 	stampMu sync.Mutex
@@ -313,6 +315,7 @@ func NewSession(cfg Config) *Session {
 		bases:     newFlightCache[*graph.CSR](),
 		workloads: newFlightCache[*sim.Workload](),
 		results:   newFlightCache[sim.Result](),
+		sampled:   newFlightCache[sim.SampledResult](),
 		traces:    newFlightCache[recording](),
 		stamps:    make(map[string]fileStamp),
 		fileUse:   make(map[string]*fileUsage),
@@ -334,8 +337,9 @@ func (s *Session) Broadcasts() uint64 { return s.broadcasts.Load() }
 // PhaseSeconds returns the session's cumulative engine time per phase:
 // "load" (dataset generation/ingestion), "reorder" (vertex reordering +
 // relabeling), "record" (traced application executions), "replay"
-// (trace decode + LLC simulation, broadcast or single) and "direct"
-// (execution-driven simulations that bypassed the trace engine). Values
+// (trace decode + LLC simulation, broadcast or single), "direct"
+// (execution-driven simulations that bypassed the trace engine) and
+// "sampled" (set-sampled fast-tier replays, DESIGN.md Sec. 14). Values
 // are worker-cumulative — on a multi-core host the phases of one wall
 // second can sum to several phase-seconds — and monotone over the
 // session's lifetime; the bench tooling records them so a prefetch
@@ -348,6 +352,7 @@ func (s *Session) PhaseSeconds() map[string]float64 {
 		"record":  sec(&s.phase.record),
 		"replay":  sec(&s.phase.replay),
 		"direct":  sec(&s.phase.direct),
+		"sampled": sec(&s.phase.sampled),
 	}
 }
 
@@ -398,7 +403,7 @@ func (s *Session) datasetKey(dsName string) string {
 			return strings.HasPrefix(k, dsName+"@") && !strings.HasPrefix(k, curKey+"|")
 		}
 		for _, c := range []interface{ deleteMatching(func(string) bool) }{
-			s.bases, s.workloads, s.results,
+			s.bases, s.workloads, s.results, s.sampled,
 		} {
 			c.deleteMatching(stale)
 		}
@@ -498,7 +503,7 @@ func (s *Session) evictDataset(dsName string) {
 	prefix := dsName + "@"
 	match := func(k string) bool { return strings.HasPrefix(k, prefix) }
 	for _, c := range []interface{ deleteMatching(func(string) bool) }{
-		s.bases, s.workloads, s.results,
+		s.bases, s.workloads, s.results, s.sampled,
 	} {
 		c.deleteMatching(match)
 	}

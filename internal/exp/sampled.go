@@ -1,0 +1,68 @@
+// The set-sampled fast tier's session entry point (DESIGN.md Sec. 14):
+// the same record-once engine as the full-fidelity path, but the replay
+// simulates only a deterministic 1/K of the LLC sets and returns an
+// extrapolated estimate with a confidence interval. The recording is the
+// expensive half and is shared with the full path, so on a warm session a
+// sampled answer costs one set-filtered decode — the interactive-latency
+// tier of the ROADMAP north star.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"grasp/internal/apps"
+	"grasp/internal/sim"
+)
+
+// SampledRuns returns how many distinct set-sampled estimates the session
+// has computed (cache hits and merged requests do not count) — the
+// fast-tier twin of SimRuns, surfaced by graspd /metrics.
+func (s *Session) SampledRuns() uint64 { return s.sampledRun.Load() }
+
+// SampledResult is SampledResultCtx without cancellation.
+func (s *Session) SampledResult(dsName, reorderName, app string, layout apps.Layout, policy string, sampleK uint32) (sim.SampledResult, error) {
+	return s.SampledResultCtx(context.Background(), dsName, reorderName, app, layout, policy, sampleK)
+}
+
+// SampledResultCtx returns the set-sampled fast-tier estimate of one
+// datapoint, computing and caching it on first use. The group's shared
+// FULL recording backs the replay (recorded on first use, exactly as the
+// full-fidelity path would — so a sampled probe warms the cache for a
+// later exact run and vice versa); only the replay itself is sampled.
+// sampleK=1 degenerates to an exact replay whose estimate carries zero
+// error. Estimates cache separately per K and never alias full results.
+func (s *Session) SampledResultCtx(ctx context.Context, dsName, reorderName, app string, layout apps.Layout, policy string, sampleK uint32) (sim.SampledResult, error) {
+	if sampleK == 0 {
+		return sim.SampledResult{}, fmt.Errorf("exp: sample divisor must be >= 1, got 0")
+	}
+	p := Datapoint{DS: dsName, Reorder: reorderName, App: app, Layout: layout, Policy: policy}
+	key := fmt.Sprintf("%s|k%d|sampled", s.resultKey(p), sampleK)
+	for {
+		r, err := s.sampled.doTransient(key, func() (sim.SampledResult, error) {
+			w, err := s.Workload(p.DS, p.Reorder, p.App == "SSSP")
+			if err != nil {
+				return sim.SampledResult{}, err
+			}
+			spec := sim.Spec{App: p.App, Layout: p.Layout, Policy: p.Policy, HCfg: s.Cfg.HCfg}
+			var r sim.SampledResult
+			err = s.withRecording(ctx, p.group(), false, func(rec recording) error {
+				start := time.Now()
+				var rerr error
+				r, rerr = sim.SampledReplayResultCtx(ctx, rec.tr, spec, w.Dataset.Name, rec.bounds, sampleK)
+				s.phase.sampled.Add(int64(time.Since(start)))
+				return rerr
+			})
+			if err != nil {
+				return sim.SampledResult{}, err
+			}
+			s.sampledRun.Add(1)
+			return r, nil
+		})
+		if foreignCancel(ctx, err) {
+			continue
+		}
+		return r, err
+	}
+}

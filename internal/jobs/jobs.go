@@ -672,6 +672,13 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Outcome, error) {
 	s := m.sessionFor(j.Spec.Scale)
 	switch j.Spec.Kind {
 	case KindSingle:
+		if j.Spec.Fidelity == FidelitySampled {
+			r, err := s.SampledResultCtx(ctx, j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy, j.Spec.SampleK)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Sampled: &r}, nil
+		}
 		r, err := s.ResultCtx(ctx, j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy)
 		if err != nil {
 			return nil, err
@@ -791,6 +798,9 @@ type Metrics struct {
 	// SimRuns is the number of distinct sim.Run invocations across all
 	// sessions (the engine-level dedup observability counter).
 	SimRuns uint64
+	// SampledRuns counts distinct set-sampled fast-tier estimates computed
+	// across all sessions (DESIGN.md Sec. 14).
+	SampledRuns uint64
 	// BroadcastGroups counts recording groups served through the
 	// decode-once broadcast path across all sessions; BroadcastReplays is
 	// the process-wide count of completed broadcast fan-outs and
@@ -809,11 +819,12 @@ type Metrics struct {
 
 // Metrics returns a snapshot of the manager's counters.
 func (m *Manager) Metrics() Metrics {
-	var simRuns, broadcastGroups uint64
+	var simRuns, sampledRuns, broadcastGroups uint64
 	var traceBytes int64
 	m.mu.Lock()
 	for _, s := range m.sessions {
 		simRuns += s.SimRuns()
+		sampledRuns += s.SampledRuns()
 		broadcastGroups += s.Broadcasts()
 		traceBytes += s.TraceBytesRetained()
 	}
@@ -824,23 +835,24 @@ func (m *Manager) Metrics() Metrics {
 		BroadcastReplays:   broadcastReplays,
 		BroadcastConsumers: broadcastConsumers,
 		TraceBytesRetained: traceBytes,
-		Submitted:        m.submitted.Load(),
-		Executed:         m.executed.Load(),
-		Completed:        m.completed.Load(),
-		Failed:           m.failed.Load(),
-		StoreHits:        m.storeHits.Load(),
-		DedupHits:        m.dedupHits.Load(),
-		Panics:           m.panics.Load(),
-		Canceled:         m.canceled.Load(),
-		Shed:             m.shed.Load(),
-		Requeued:         m.requeued.Load(),
-		StoreErrors:      m.storeErrors.Load(),
-		JournalErrors:    m.journalErrors.Load(),
-		Degraded:         m.storeErrors.Load()+m.journalErrors.Load() > 0,
-		Queued:           m.q.Depth(),
-		Running:          int(m.running.Load()),
-		StoredOutcomes:   m.store.Len(),
-		SimRuns:          simRuns,
-		CachedGraphFiles: graph.CachedFiles(),
+		Submitted:          m.submitted.Load(),
+		Executed:           m.executed.Load(),
+		Completed:          m.completed.Load(),
+		Failed:             m.failed.Load(),
+		StoreHits:          m.storeHits.Load(),
+		DedupHits:          m.dedupHits.Load(),
+		Panics:             m.panics.Load(),
+		Canceled:           m.canceled.Load(),
+		Shed:               m.shed.Load(),
+		Requeued:           m.requeued.Load(),
+		StoreErrors:        m.storeErrors.Load(),
+		JournalErrors:      m.journalErrors.Load(),
+		Degraded:           m.storeErrors.Load()+m.journalErrors.Load() > 0,
+		Queued:             m.q.Depth(),
+		Running:            int(m.running.Load()),
+		StoredOutcomes:     m.store.Len(),
+		SimRuns:            simRuns,
+		SampledRuns:        sampledRuns,
+		CachedGraphFiles:   graph.CachedFiles(),
 	}
 }

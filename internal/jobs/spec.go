@@ -26,6 +26,25 @@ const (
 	KindExperiment = "experiment"
 )
 
+// Fidelities accepted by Spec.Fidelity.
+const (
+	// FidelityFull simulates every LLC set: the exact paper numbers. This
+	// is the default; an omitted fidelity canonicalizes to it and its
+	// content address is unchanged from before the field existed, so
+	// stored results survive the upgrade.
+	FidelityFull = "full"
+	// FidelitySampled simulates ~1/sample_k of the LLC sets and returns an
+	// extrapolated estimate with a confidence interval (DESIGN.md
+	// Sec. 14): the fast exploratory tier. Sampled outcomes hash to their
+	// own content addresses, so estimates and exact numbers coexist in one
+	// store without aliasing.
+	FidelitySampled = "sampled"
+)
+
+// DefaultSampleK is the sampling divisor a sampled-fidelity spec gets
+// when sample_k is omitted.
+const DefaultSampleK = 16
+
 // Spec describes one simulation job a client can submit. The zero values
 // of optional fields are normalized by Canonicalize, so two specs that
 // differ only in spelled-out defaults (or in JSON field order, which never
@@ -47,6 +66,15 @@ type Spec struct {
 	// Scale is the dataset scale divisor; 0 or 1 = full reproduction
 	// scale. The simulated hierarchy shrinks with it (exp.ScaledConfig).
 	Scale uint32 `json:"scale,omitempty"`
+	// Fidelity selects the simulation tier for KindSingle jobs:
+	// FidelityFull (default; omitted canonicalizes to it) or
+	// FidelitySampled for a set-sampled fast estimate.
+	Fidelity string `json:"fidelity,omitempty"`
+	// SampleK is the set-sampling divisor for FidelitySampled: ~1/K of the
+	// LLC sets are simulated. Must be a power of two; 0 selects
+	// DefaultSampleK. 1 is exact (every set) and still reports the
+	// estimate form. Only valid with sampled fidelity.
+	SampleK uint32 `json:"sample_k,omitempty"`
 	// TimeoutS is an optional wall-clock budget in seconds: the job is
 	// cancelled (and fails) once it runs longer. 0 falls back to the
 	// server's default deadline, if any. It is a scheduling option, not
@@ -92,8 +120,27 @@ func (s *Spec) Canonicalize() error {
 		if _, err := reorder.ByName(s.Reorder); err != nil {
 			return err
 		}
+		switch s.Fidelity {
+		case "", FidelityFull:
+			s.Fidelity = FidelityFull
+			if s.SampleK != 0 {
+				return fmt.Errorf("jobs: sample_k is only valid with %q fidelity", FidelitySampled)
+			}
+		case FidelitySampled:
+			if s.SampleK == 0 {
+				s.SampleK = DefaultSampleK
+			}
+			if s.SampleK&(s.SampleK-1) != 0 {
+				return fmt.Errorf("jobs: sample_k %d is not a power of two", s.SampleK)
+			}
+			if s.SampleK > 1<<16 {
+				return fmt.Errorf("jobs: sample_k %d exceeds the maximum %d", s.SampleK, 1<<16)
+			}
+		default:
+			return fmt.Errorf("jobs: unknown fidelity %q (want %q or %q)", s.Fidelity, FidelityFull, FidelitySampled)
+		}
 	case KindExperiment:
-		if s.Graph != "" || s.App != "" || s.Policy != "" || s.Reorder != "" {
+		if s.Graph != "" || s.App != "" || s.Policy != "" || s.Reorder != "" || s.Fidelity != "" || s.SampleK != 0 {
 			return fmt.Errorf("jobs: %q job must set only exp and scale", KindExperiment)
 		}
 		if _, err := exp.ByID(s.Exp); err != nil {
@@ -146,7 +193,8 @@ const hashVersion = "grasp-job-v2"
 // graphs hash their bytes, so editing a file changes the address; named
 // synthetic datasets digest their generator parameters, so retuning a
 // generator changes it too), app, policy, reordering, experiment id,
-// scale, and the derived cache hierarchy geometry — digested with
+// scale, the derived cache hierarchy geometry and, for sampled-fidelity
+// jobs, the fidelity tier and sampling divisor — digested with
 // SHA-256. Specs that canonicalize identically hash identically
 // regardless of how the client spelled them. The spec must have been
 // canonicalized.
@@ -181,6 +229,13 @@ func (s Spec) identityAndHash() (gid, hash string, err error) {
 		cfg.HCfg.L1.SizeBytes, cfg.HCfg.L1.Ways,
 		cfg.HCfg.L2.SizeBytes, cfg.HCfg.L2.Ways,
 		cfg.HCfg.LLC.SizeBytes, cfg.HCfg.LLC.Ways)
+	if s.Fidelity == FidelitySampled {
+		// Appended only on the sampled tier: full-fidelity specs keep
+		// digesting the exact pre-fidelity byte stream, so every address
+		// minted before the field existed still resolves to its stored
+		// outcome (the pinned-hash compat test enforces this).
+		fmt.Fprintf(h, "fidelity:%s/%d\x00", s.Fidelity, s.SampleK)
+	}
 	return gid, hex.EncodeToString(h.Sum(nil)), nil
 }
 

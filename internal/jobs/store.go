@@ -20,8 +20,11 @@ type Outcome struct {
 	Hash string `json:"hash"`
 	// Spec is the canonicalized job spec.
 	Spec Spec `json:"spec"`
-	// Single holds the cache metrics of a KindSingle run.
+	// Single holds the cache metrics of a full-fidelity KindSingle run.
 	Single *sim.Result `json:"single,omitempty"`
+	// Sampled holds the set-sampled estimate of a sampled-fidelity
+	// KindSingle run (exactly one of Single/Sampled/Output is set).
+	Sampled *sim.SampledResult `json:"sampled,omitempty"`
 	// Output holds the rendered text body of a KindExperiment run.
 	Output string `json:"output,omitempty"`
 	// Elapsed is the wall-clock seconds of the execution that produced

@@ -1,0 +1,113 @@
+// Set-sampled replay: the fast-fidelity tier. A full replay simulates
+// every LLC set; the sampled tier replays the same recording through a
+// trace.SetFilter so only a deterministic 1/K subset of sets is simulated,
+// and extrapolates whole-cache miss metrics with a confidence interval
+// (internal/stats, DESIGN.md Sec. 14). sample_k=1 selects every set and is
+// bit-identical to a full replay — the property the equivalence tests pin.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+	"grasp/internal/stats"
+	"grasp/internal/trace"
+)
+
+// SampledResult is the fast-tier counterpart of Result: exact L1/L2 stats
+// from the recording, observed LLC stats over the sampled sets only, and
+// the extrapolated whole-cache estimate with its error bars. EstCycles
+// prices the estimate through the same memory-time model as Result.Cycles.
+type SampledResult struct {
+	Spec     Spec
+	Workload string
+	// SampleK is the sampling divisor: ~1/K of the LLC sets simulated.
+	SampleK uint32
+	// L1 and L2 are exact — the recording's upper-level filter saw every
+	// access regardless of sampling.
+	L1, L2 cache.Stats
+	// SampledLLC holds the raw stats of the partial LLC simulation; its
+	// counters cover only the sampled sets.
+	SampledLLC cache.Stats
+	// Est extrapolates SampledLLC to the whole cache.
+	Est stats.SetEstimate
+	// EstCycles is the memory-time estimate using Est.EstMisses.
+	EstCycles float64
+	// AppTime is the recording run's execution time (as on the replay path).
+	AppTime time.Duration
+}
+
+// MissRatio returns the estimated whole-cache LLC miss ratio.
+func (r SampledResult) MissRatio() float64 { return r.Est.MissRatio }
+
+// SampledReplayResult is the context-free convenience form of
+// SampledReplayResultCtx.
+func SampledReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) (SampledResult, error) {
+	return SampledReplayResultCtx(context.Background(), tr, spec, workloadName, abrArrays, sampleK)
+}
+
+// SampledReplayResultCtx produces one datapoint's sampled estimate from a
+// recorded trace: the recording is decoded once (broadcast path) and fed
+// through a set filter in front of a fresh replay LLC. With sampleK=1 the
+// filter passes every access and SampledLLC equals a full replay's stats
+// bit for bit.
+func SampledReplayResultCtx(ctx context.Context, tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) (SampledResult, error) {
+	res, err := BroadcastSampledResultsCtx(ctx, tr, []Spec{spec}, workloadName, abrArrays, sampleK)
+	if err != nil {
+		return SampledResult{}, err
+	}
+	return res[0], nil
+}
+
+// BroadcastSampledResultsCtx fans ONE decode pass of the recording out to
+// a set-filtered replay LLC per spec: the sampled twin of
+// BroadcastResultsCtx. All specs share the sampling divisor, but each
+// spec's filter derives its own set selection from its own LLC geometry,
+// so specs may differ in policy and geometry alike.
+func BroadcastSampledResultsCtx(ctx context.Context, tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) ([]SampledResult, error) {
+	if sampleK == 0 {
+		return nil, fmt.Errorf("sim: sample divisor must be >= 1, got 0")
+	}
+	filters := make([]*trace.SetFilter, len(specs))
+	consumers := make([]func([]mem.Access), len(specs))
+	for i, spec := range specs {
+		pinfo, err := PolicyByName(spec.Policy)
+		if err != nil {
+			return nil, err
+		}
+		llc, err := NewReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
+		if err != nil {
+			return nil, err
+		}
+		f, err := trace.NewSetFilter(llc, trace.SampledSets(llc.NumSets(), sampleK))
+		if err != nil {
+			return nil, err
+		}
+		filters[i] = f
+		consumers[i] = f.Consume
+	}
+	if err := tr.BroadcastNCtx(ctx, 0, consumers); err != nil {
+		return nil, err
+	}
+	out := make([]SampledResult, len(specs))
+	for i, spec := range specs {
+		f := filters[i]
+		acc, miss := f.Counts()
+		est := stats.EstimateSetSample(acc, miss, int(f.LLC().NumSets()), uint64(tr.Len()))
+		out[i] = SampledResult{
+			Spec:       spec,
+			Workload:   workloadName,
+			SampleK:    sampleK,
+			L1:         tr.L1Stats(),
+			L2:         tr.L2Stats(),
+			SampledLLC: f.LLC().Stats,
+			Est:        est,
+			EstCycles:  cache.MemoryCyclesEst(spec.HCfg, tr.L1Stats(), tr.L2Stats(), est.EstMisses),
+			AppTime:    tr.AppTime(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/cache"
+	"grasp/internal/graph"
+)
+
+// accuracyTestHCfg is sized for sampling statistics rather than speed: a
+// 256-set LLC gives the coarsest divisor of the sweep (K=64) a 4-set
+// sample and the finest (K=4) a 64-set sample, while the small upper
+// levels keep enough traffic reaching the LLC to produce real misses at
+// 1/64 dataset scale.
+func accuracyTestHCfg() cache.HierarchyConfig {
+	h := cache.DefaultHierarchyConfig()
+	h.L1 = cache.Config{SizeBytes: 1 << 10, Ways: 8}
+	h.L2 = cache.Config{SizeBytes: 2 << 10, Ways: 8}
+	h.LLC = cache.Config{SizeBytes: 64 << 10, Ways: 4} // 256 sets
+	return h
+}
+
+// biasAllowance returns the absolute miss-ratio slack (in ratio units, not
+// percent) granted to a policy on top of its reported CI. Policies whose
+// replacement state is strictly per-set are exact per sampled set, so the
+// ratio-estimator CI is the whole story and they get no slack. Policies
+// with global state (set-dueling PSEL counters, SHiP signature tables,
+// Hawkeye predictors, Leeway epochs) train that state on only the sampled
+// subset during a sampled replay — a model bias the cross-set CI cannot
+// see (DESIGN.md Sec. 14). Two percentage points covers the worst observed
+// bias at this scale without masking estimator bugs.
+func biasAllowance(policy string) float64 {
+	switch policy {
+	case "DIP", "SHiP-MEM", "SHiP-PC", "Hawkeye", "Leeway", "GRASP-DIP":
+		return 0.02
+	}
+	return 0
+}
+
+// TestSampledAccuracy is the statistical harness behind the fast tier's
+// honesty claim: for every registered policy on two high-skew datasets,
+// the sampled estimate must land within its own reported 95% confidence
+// interval of the full-fidelity miss ratio, and the reported error must
+// shrink as the sampled fraction grows (K=64 -> 16 -> 4). Everything is
+// deterministic — fixed dataset seeds, hash-based set selection — so a
+// pass is stable, not probabilistic.
+func TestSampledAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy sweep skipped in -short mode")
+	}
+	hcfg := accuracyTestHCfg()
+	ks := []uint32{64, 16, 4}
+	for _, dsName := range []string{"lj", "tw"} {
+		dsName := dsName
+		t.Run(dsName, func(t *testing.T) {
+			t.Parallel()
+			ds, err := graph.DatasetByName(dsName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := PrepareWorkload(ds, "DBG", false, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Release()
+			bounds, err := ABRBoundsFor(w, "PR", apps.LayoutMerged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pols := Policies()
+			specs := make([]Spec, len(pols))
+			for i, pinfo := range pols {
+				specs[i] = Spec{App: "PR", Layout: apps.LayoutMerged, Policy: pinfo.Name, HCfg: hcfg}
+			}
+			full, err := BroadcastResultsCtx(t.Context(), tr, specs, w.Dataset.Name, bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// sampled[ki][pi] is policy pi's estimate at divisor ks[ki].
+			sampled := make([][]SampledResult, len(ks))
+			for ki, k := range ks {
+				sampled[ki], err = BroadcastSampledResultsCtx(t.Context(), tr, specs, w.Dataset.Name, bounds, k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+			}
+			for pi, pinfo := range pols {
+				exact := full[pi].LLC.MissRatio()
+				for ki, k := range ks {
+					est := sampled[ki][pi].Est
+					if est.SampledSets >= est.TotalSets {
+						t.Fatalf("%s k=%d: sampled %d/%d sets — geometry too small to sample",
+							pinfo.Name, k, est.SampledSets, est.TotalSets)
+					}
+					diff := math.Abs(est.MissRatio - exact)
+					if allowed := est.CI95 + biasAllowance(pinfo.Name); diff > allowed {
+						t.Errorf("%s k=%d: estimate %.4f vs full %.4f: |err| %.4f exceeds CI95 %.4f (+bias %.4f) [%d/%d sets]",
+							pinfo.Name, k, est.MissRatio, exact, diff, est.CI95,
+							biasAllowance(pinfo.Name), est.SampledSets, est.TotalSets)
+					}
+					if est.StdErr <= 0 {
+						t.Errorf("%s k=%d: non-positive stderr %.6f with %d sampled sets",
+							pinfo.Name, k, est.StdErr, est.SampledSets)
+					}
+				}
+				// Per policy the reported error must not grow as more sets
+				// are simulated; a small multiplicative slack absorbs the
+				// variance of the variance estimator itself.
+				for ki := 1; ki < len(ks); ki++ {
+					coarse, fine := sampled[ki-1][pi].Est, sampled[ki][pi].Est
+					if fine.StdErr > coarse.StdErr*1.25 {
+						t.Errorf("%s: stderr rose from %.5f (k=%d) to %.5f (k=%d); more sets must not mean more reported error",
+							pinfo.Name, coarse.StdErr, ks[ki-1], fine.StdErr, ks[ki])
+					}
+				}
+			}
+			// In aggregate the shrinkage must be strict: the mean CI half-
+			// width over all policies narrows at every step of the sweep.
+			for ki := 1; ki < len(ks); ki++ {
+				var coarse, fine float64
+				for pi := range pols {
+					coarse += sampled[ki-1][pi].Est.CI95
+					fine += sampled[ki][pi].Est.CI95
+				}
+				if fine >= coarse {
+					t.Errorf("mean CI95 did not shrink: %.5f (k=%d) -> %.5f (k=%d)",
+						coarse/float64(len(pols)), ks[ki-1], fine/float64(len(pols)), ks[ki])
+				}
+			}
+		})
+	}
+}

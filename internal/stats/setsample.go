@@ -1,0 +1,116 @@
+package stats
+
+import "math"
+
+// SetEstimate summarizes a set-sampled cache simulation: the miss ratio
+// observed over a deterministic subset of the LLC's sets, extrapolated to
+// the whole cache with a standard error and confidence interval. Because a
+// set-associative cache partitions blocks statically across sets, each
+// sampled set's (accesses, misses) pair is exact; the only uncertainty is
+// cross-set sampling error, which the ratio estimator below quantifies.
+// Policies with shared global state (set dueling, shared predictor tables)
+// additionally carry a model bias the interval does not cover — the
+// accuracy test suite bounds that empirically.
+type SetEstimate struct {
+	// SampledSets and TotalSets describe the sample: n of N sets simulated.
+	SampledSets int `json:"sampled_sets"`
+	TotalSets   int `json:"total_sets"`
+	// SampledAccesses and SampledMisses are the exact totals over the
+	// sampled sets.
+	SampledAccesses uint64 `json:"sampled_accesses"`
+	SampledMisses   uint64 `json:"sampled_misses"`
+	// TotalAccesses is the exact number of LLC accesses in the recording
+	// (known without sampling: every recorded access reaches the LLC).
+	TotalAccesses uint64 `json:"total_accesses"`
+	// MissRatio is the ratio-estimator point estimate of misses/accesses.
+	MissRatio float64 `json:"miss_ratio"`
+	// StdErr is the estimated standard error of MissRatio, with
+	// finite-population correction (zero when every set was sampled).
+	StdErr float64 `json:"std_err"`
+	// CI95 is the half-width of the ~95% confidence interval around
+	// MissRatio, using a Student-t multiplier for small sample counts.
+	CI95 float64 `json:"ci95"`
+	// EstMisses extrapolates the miss count: MissRatio x TotalAccesses.
+	EstMisses float64 `json:"est_misses"`
+	// EstMissesCI95 is the 95% half-width on EstMisses.
+	EstMissesCI95 float64 `json:"est_misses_ci95"`
+}
+
+// EstimateSetSample builds a SetEstimate from per-sampled-set access and
+// miss counts (parallel slices, one entry per sampled set), the total
+// number of sets in the cache, and the exact total LLC access count. The
+// estimator is the classic ratio estimator R = sum(miss)/sum(acc); its
+// variance comes from the per-set residuals miss_i - R*acc_i with a
+// finite-population correction (1 - n/N), so sampling every set reports
+// zero error. With fewer than two sampled sets (and n < N) the variance is
+// undefined and StdErr/CI95 are reported as zero; callers should sample at
+// least two sets.
+func EstimateSetSample(acc, miss []uint64, totalSets int, totalAccesses uint64) SetEstimate {
+	e := SetEstimate{
+		SampledSets:   len(acc),
+		TotalSets:     totalSets,
+		TotalAccesses: totalAccesses,
+	}
+	for i := range acc {
+		e.SampledAccesses += acc[i]
+		e.SampledMisses += miss[i]
+	}
+	if e.SampledAccesses == 0 {
+		// No traffic reached the sampled sets. If the cache as a whole did
+		// see traffic, the sample carries no information about the miss
+		// ratio — report maximal uncertainty rather than a confident 0±0.
+		// (A genuinely idle cache keeps the zero interval: there is nothing
+		// to be uncertain about.)
+		if totalAccesses > 0 && len(acc) < totalSets {
+			e.StdErr, e.CI95 = 0.5, 1
+			e.EstMissesCI95 = float64(totalAccesses)
+		}
+		return e
+	}
+	r := float64(e.SampledMisses) / float64(e.SampledAccesses)
+	e.MissRatio = r
+	e.EstMisses = r * float64(totalAccesses)
+	n := len(acc)
+	if n >= 2 && n < totalSets {
+		// Delta-method variance of the ratio estimator: the residuals
+		// d_i = miss_i - R*acc_i have mean ~0; Var(R) ~ fpc * Var(d) /
+		// (n * meanAcc^2).
+		meanAcc := float64(e.SampledAccesses) / float64(n)
+		var ss float64
+		for i := range acc {
+			d := float64(miss[i]) - r*float64(acc[i])
+			ss += d * d
+		}
+		varD := ss / float64(n-1)
+		fpc := 1 - float64(n)/float64(totalSets)
+		se := math.Sqrt(fpc*varD/float64(n)) / meanAcc
+		if !math.IsNaN(se) && !math.IsInf(se, 0) {
+			e.StdErr = se
+			e.CI95 = tMultiplier(n-1) * se
+			e.EstMissesCI95 = e.CI95 * float64(totalAccesses)
+		}
+	}
+	return e
+}
+
+// tMultiplier returns the two-sided 95% Student-t quantile for the given
+// degrees of freedom. Set sampling often runs with a handful of sets (K=64
+// on a 256-set LLC samples 4), where the normal 1.96 would badly
+// under-cover; the table keeps intervals honest at small n.
+func tMultiplier(df int) float64 {
+	table := []float64{ // df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(table):
+		return table[df-1]
+	case df <= 60:
+		return 2.0
+	default:
+		return 1.96
+	}
+}

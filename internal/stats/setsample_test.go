@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimateSetSampleExactWhenComplete(t *testing.T) {
+	// Every set sampled: the estimate is exact and the error zero.
+	e := EstimateSetSample([]uint64{10, 20, 30, 40}, []uint64{1, 2, 3, 4}, 4, 100)
+	if e.MissRatio != 0.1 {
+		t.Errorf("miss ratio %.4f, want 0.1", e.MissRatio)
+	}
+	if e.StdErr != 0 || e.CI95 != 0 {
+		t.Errorf("complete sample reported error: stderr=%g ci=%g", e.StdErr, e.CI95)
+	}
+	if e.EstMisses != 10 {
+		t.Errorf("est misses %.2f, want 10", e.EstMisses)
+	}
+}
+
+func TestEstimateSetSampleHandComputed(t *testing.T) {
+	// Two sampled sets of eight; residuals worked by hand.
+	// R = 6/30 = 0.2; d = {2 - 0.2*10, 4 - 0.2*20} = {0, 0} -> SE 0.
+	e := EstimateSetSample([]uint64{10, 20}, []uint64{2, 4}, 8, 120)
+	if e.MissRatio != 0.2 {
+		t.Errorf("miss ratio %.4f, want 0.2", e.MissRatio)
+	}
+	if e.StdErr != 0 {
+		t.Errorf("proportional per-set counts must give zero stderr, got %g", e.StdErr)
+	}
+	// Heterogeneous sets: R = 5/30; d_i = miss_i - R*acc_i = {1-5/3, 4-10/3}
+	// = {-2/3, 2/3}; varD = 2*(4/9)/1; fpc = 1 - 2/8 = 0.75;
+	// SE = sqrt(0.75 * 8/9 / 2) / 15; CI = 12.706 * SE (df=1).
+	e = EstimateSetSample([]uint64{10, 20}, []uint64{1, 4}, 8, 120)
+	wantSE := math.Sqrt(0.75*(8.0/9.0)/2) / 15
+	if math.Abs(e.StdErr-wantSE) > 1e-12 {
+		t.Errorf("stderr %.10f, want %.10f", e.StdErr, wantSE)
+	}
+	if math.Abs(e.CI95-12.706*wantSE) > 1e-12 {
+		t.Errorf("ci95 %.10f, want %.10f", e.CI95, 12.706*wantSE)
+	}
+}
+
+func TestEstimateSetSampleNoTraffic(t *testing.T) {
+	// Sampled sets saw nothing but the cache did: maximal uncertainty, not
+	// a confident zero.
+	e := EstimateSetSample([]uint64{0, 0}, []uint64{0, 0}, 8, 1000)
+	if e.MissRatio != 0 || e.EstMisses != 0 {
+		t.Errorf("no-information estimate must center on 0, got %.4f/%.1f", e.MissRatio, e.EstMisses)
+	}
+	if e.CI95 != 1 || e.EstMissesCI95 != 1000 {
+		t.Errorf("no-information estimate must report maximal uncertainty, got ci=%g misses-ci=%g", e.CI95, e.EstMissesCI95)
+	}
+	// A genuinely idle cache (no accesses anywhere) is certain, not unknown.
+	e = EstimateSetSample([]uint64{0, 0}, []uint64{0, 0}, 8, 0)
+	if e.CI95 != 0 || e.StdErr != 0 {
+		t.Errorf("idle cache must report zero error, got ci=%g stderr=%g", e.CI95, e.StdErr)
+	}
+	// A complete sample with no traffic is also certain.
+	e = EstimateSetSample(make([]uint64, 8), make([]uint64, 8), 8, 0)
+	if e.CI95 != 0 {
+		t.Errorf("complete idle sample must report zero error, got ci=%g", e.CI95)
+	}
+}
+
+func TestTMultiplier(t *testing.T) {
+	for _, tc := range []struct {
+		df   int
+		want float64
+	}{
+		{0, math.Inf(1)}, {1, 12.706}, {3, 3.182}, {30, 2.042}, {45, 2.0}, {100, 1.96},
+	} {
+		if got := tMultiplier(tc.df); got != tc.want {
+			t.Errorf("tMultiplier(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"grasp/internal/cache"
 	"grasp/internal/mem"
 )
 
@@ -64,6 +65,114 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			if got[i] != a {
 				t.Fatalf("access %d: got %+v, want %+v", i, got[i], a)
 			}
+		}
+	})
+}
+
+// FuzzSetFilterReplay drives the sampled tier's set filter with hostile
+// recordings: arbitrary bytes become an access stream (same 13-byte record
+// layout as FuzzCodecRoundTrip, spill layout toggled by an input byte),
+// which is broadcast through a SetFilter whose divisor also comes from the
+// input. The filter must never panic, never index outside the slab ring or
+// its counter slots, and its per-set counters must reconcile exactly with
+// both a reference count over the raw stream and the wrapped cache's own
+// stats — for any address pattern, including delta overflows and addresses
+// engineered to alias into one set.
+func FuzzSetFilterReplay(f *testing.F) {
+	f.Add([]byte{})
+	// Seed one stream that hammers a single set (all blocks alias to set 3
+	// of 16) and one that strides across every set with spill enabled.
+	alias := make([]byte, 0, 13*32)
+	for i := 0; i < 32; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], 3<<6|uint64(i)<<14)
+		rec[12] = byte(i) & 3
+		alias = append(alias, rec[:]...)
+	}
+	f.Add(alias)
+	stride := make([]byte, 0, 13*64)
+	for i := 0; i < 64; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)*64+uint64(i)<<40)
+		rec[12] = byte(i&3) | 4 // bit 2: spill layout
+		stride = append(stride, rec[:]...)
+	}
+	f.Add(stride)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const recSize = 13
+		n := len(data) / recSize
+		if n > 1<<14 {
+			n = 1 << 14
+		}
+		accs := make([]mem.Access, n)
+		for i := range accs {
+			rec := data[i*recSize:]
+			accs[i] = mem.Access{
+				Addr:     binary.LittleEndian.Uint64(rec[:8]),
+				PC:       binary.LittleEndian.Uint32(rec[8:12]),
+				Write:    rec[12]&1 != 0,
+				Property: rec[12]&2 != 0,
+			}
+		}
+		r := NewRawRecorder()
+		if n > 0 && data[0]&4 != 0 {
+			r.SetMemoryOverride(-1)
+		}
+		for _, a := range accs {
+			r.Record(a)
+		}
+		tr, err := r.Finish(time.Duration(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Release()
+		cfg := cache.Config{SizeBytes: 16 << 10, Ways: 16} // 16 sets
+		llc, err := cache.New(cfg, cache.NewLRU(cfg.Sets(), cfg.Ways))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampleK := uint32(1)
+		if n > 0 {
+			sampleK = 1 << (data[0] >> 5) // 1..128, beyond set count is legal
+		}
+		filter, err := NewSetFilter(llc, SampledSets(cfg.Sets(), sampleK))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Broadcast([]func([]mem.Access){filter.Consume}); err != nil {
+			t.Fatal(err)
+		}
+		// Reference count straight off the raw stream.
+		sampled := make(map[uint32]uint64)
+		for _, s := range filter.Sets() {
+			sampled[s] = 0
+		}
+		for _, a := range accs {
+			set := uint32(cache.BlockAddr(a.Addr) & uint64(cfg.Sets()-1))
+			if _, ok := sampled[set]; ok {
+				sampled[set]++
+			}
+		}
+		acc, miss := filter.Counts()
+		var totalAcc, totalMiss uint64
+		for i, s := range filter.Sets() {
+			if acc[i] != sampled[s] {
+				t.Fatalf("set %d: filter counted %d accesses, reference %d", s, acc[i], sampled[s])
+			}
+			if miss[i] > acc[i] {
+				t.Fatalf("set %d: %d misses exceed %d accesses", s, miss[i], acc[i])
+			}
+			totalAcc += acc[i]
+			totalMiss += miss[i]
+		}
+		if totalAcc > uint64(tr.Len()) {
+			t.Fatalf("filter forwarded %d accesses from a %d-access recording", totalAcc, tr.Len())
+		}
+		if got := llc.Stats.Accesses(); got != totalAcc {
+			t.Fatalf("wrapped cache saw %d accesses, counters say %d", got, totalAcc)
+		}
+		if llc.Stats.Misses != totalMiss {
+			t.Fatalf("wrapped cache recorded %d misses, counters say %d", llc.Stats.Misses, totalMiss)
 		}
 	})
 }

@@ -1,0 +1,139 @@
+// Set-sampled replay: a broadcast consumer that forwards only the accesses
+// mapping to a deterministic subset of the LLC's sets. Set-associative
+// caches partition block addresses statically across sets, so the access
+// stream of one set is independent of whether the other sets are simulated
+// — filtering is exact per set, and simulating 1/K of the sets costs ~1/K
+// of the replay work. internal/stats extrapolates the sampled counts to a
+// whole-cache estimate with a confidence interval (DESIGN.md Sec. 14).
+package trace
+
+import (
+	"fmt"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// mix64 is the SplitMix64 finalizer: a fixed avalanche permutation of
+// uint64. It picks each stratum's representative set pseudo-randomly so
+// the sample is not locked to one address-stride phase, while staying
+// fully deterministic across runs, platforms and GOMAXPROCS.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SampledSets deterministically selects the LLC sets a 1/k sampled replay
+// simulates. Selection is STRATIFIED, not uniform: the set-index space is
+// split into sets/k contiguous strata (floored at 2 so a variance can
+// always be estimated) and mix64 picks one representative set inside each.
+// Graph workloads lay hot vertices contiguously, so a set's miss ratio is
+// strongly correlated with its index; one pick per stratum tracks that
+// structure where a uniform draw of the same size can land entirely inside
+// the hub region and report a confidently wrong estimate. Under stratified
+// selection the simple-random-sampling variance formula in internal/stats
+// is conservative (it also counts the between-strata spread the strata
+// already capture), which is the safe direction for a CI. k=1 selects
+// every set, which makes the filtered replay bit-identical to a full one.
+// The returned indices are ascending. sets must be a positive power of two
+// (as cache.New enforces) and k >= 1.
+func SampledSets(sets, k uint32) []uint32 {
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("trace: set count %d is not a positive power of two", sets))
+	}
+	if k == 0 {
+		panic("trace: sample divisor k must be >= 1")
+	}
+	n := sets / k
+	if n < 2 {
+		n = 2
+	}
+	if n > sets {
+		n = sets
+	}
+	stride := sets / n
+	out := make([]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		out[i] = i*stride + uint32(mix64(uint64(i))%uint64(stride))
+	}
+	return out
+}
+
+// SetFilter applies a sampled-set mask in front of an LLC simulation. It is
+// a broadcast consumer (pass Consume to Trace.Broadcast*): accesses whose
+// block maps to a selected set are forwarded to the wrapped cache in
+// recording order, everything else is dropped, and exact per-set access and
+// miss counts are kept for the estimator. Like any broadcast consumer it
+// must only be driven from one goroutine at a time.
+type SetFilter struct {
+	llc     *cache.Cache
+	setMask uint64
+	slot    []int32 // set index -> dense counter slot, -1 if not sampled
+	sets    []uint32
+	acc     []uint64
+	miss    []uint64
+}
+
+// NewSetFilter wraps llc so only the given sampled sets (ascending indices
+// into llc's set space, as returned by SampledSets) are simulated.
+func NewSetFilter(llc *cache.Cache, sampled []uint32) (*SetFilter, error) {
+	sets := llc.NumSets()
+	if len(sampled) == 0 {
+		return nil, fmt.Errorf("trace: set filter needs at least one sampled set")
+	}
+	slot := make([]int32, sets)
+	for i := range slot {
+		slot[i] = -1
+	}
+	for i, s := range sampled {
+		if s >= sets {
+			return nil, fmt.Errorf("trace: sampled set %d out of range (LLC has %d sets)", s, sets)
+		}
+		if slot[s] != -1 {
+			return nil, fmt.Errorf("trace: sampled set %d listed twice", s)
+		}
+		slot[s] = int32(i)
+	}
+	return &SetFilter{
+		llc:     llc,
+		setMask: uint64(sets - 1),
+		slot:    slot,
+		sets:    sampled,
+		acc:     make([]uint64, len(sampled)),
+		miss:    make([]uint64, len(sampled)),
+	}, nil
+}
+
+// Consume forwards the slab's accesses that land in sampled sets to the
+// wrapped LLC. It never indexes outside the slab or retains it, so a
+// hostile recording can at worst produce a nonsense (but in-range) set
+// index — the fuzz harness drives this path.
+func (f *SetFilter) Consume(accs []mem.Access) {
+	for i := range accs {
+		a := accs[i]
+		slot := f.slot[cache.BlockAddr(a.Addr)&f.setMask]
+		if slot < 0 {
+			continue
+		}
+		f.acc[slot]++
+		if !f.llc.Access(a) {
+			f.miss[slot]++
+		}
+	}
+}
+
+// LLC returns the wrapped cache (its Stats cover sampled sets only).
+func (f *SetFilter) LLC() *cache.Cache { return f.llc }
+
+// Counts returns the per-sampled-set access and miss totals, parallel to
+// the sampled-set list passed at construction. The slices are live; read
+// them only after the broadcast completes.
+func (f *SetFilter) Counts() (acc, miss []uint64) { return f.acc, f.miss }
+
+// Sets returns the sampled set indices (ascending).
+func (f *SetFilter) Sets() []uint32 { return f.sets }

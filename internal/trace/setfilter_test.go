@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"testing"
+
+	"grasp/internal/cache"
+	"grasp/internal/mem"
+)
+
+// TestSampledSetsStratified pins the selection scheme's contract: exactly
+// one representative per contiguous stratum, ascending, in range, no
+// duplicates, deterministic, and every set selected at k=1.
+func TestSampledSetsStratified(t *testing.T) {
+	for _, tc := range []struct {
+		sets, k, wantN uint32
+	}{
+		{256, 1, 256},  // k=1: every set
+		{256, 4, 64},   // plain divisor
+		{256, 64, 4},   //
+		{256, 256, 2},  // floored at 2
+		{256, 1024, 2}, // divisor beyond set count still floors at 2
+		{2, 16, 2},     // floor == set count: all selected
+		{1, 4, 1},      // single-set cache degenerates to full replay
+	} {
+		got := SampledSets(tc.sets, tc.k)
+		if uint32(len(got)) != tc.wantN {
+			t.Errorf("SampledSets(%d, %d): %d sets selected, want %d", tc.sets, tc.k, len(got), tc.wantN)
+			continue
+		}
+		stride := tc.sets / uint32(len(got))
+		for i, s := range got {
+			if s >= tc.sets {
+				t.Errorf("SampledSets(%d, %d)[%d] = %d out of range", tc.sets, tc.k, i, s)
+			}
+			if lo := uint32(i) * stride; s < lo || s >= lo+stride {
+				t.Errorf("SampledSets(%d, %d)[%d] = %d outside its stratum [%d, %d)",
+					tc.sets, tc.k, i, s, lo, lo+stride)
+			}
+			if i > 0 && got[i-1] >= s {
+				t.Errorf("SampledSets(%d, %d) not strictly ascending at %d: %v", tc.sets, tc.k, i, got)
+			}
+		}
+	}
+	if a, b := SampledSets(1024, 8), SampledSets(1024, 8); len(a) != len(b) {
+		t.Fatalf("selection not deterministic: %d vs %d sets", len(a), len(b))
+	} else {
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("selection not deterministic at %d: %d vs %d", i, a[i], b[i])
+			}
+		}
+	}
+	for i := uint32(1); i <= 256; i *= 2 { // k=1 is the identity selection
+		got := SampledSets(i, 1)
+		for j, s := range got {
+			if s != uint32(j) {
+				t.Fatalf("SampledSets(%d, 1) must select every set, got %v", i, got)
+			}
+		}
+	}
+}
+
+func TestSampledSetsPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		sets, k uint32
+	}{
+		{"zero sets", 0, 4},
+		{"non power of two", 48, 4},
+		{"zero divisor", 256, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: SampledSets(%d, %d) did not panic", tc.name, tc.sets, tc.k)
+				}
+			}()
+			SampledSets(tc.sets, tc.k)
+		}()
+	}
+}
+
+// TestSetFilterRejects covers the constructor's validation of hostile
+// sampled-set lists.
+func TestSetFilterRejects(t *testing.T) {
+	llc := newFilterTestLLC(t)
+	for _, tc := range []struct {
+		name    string
+		sampled []uint32
+	}{
+		{"empty", nil},
+		{"out of range", []uint32{0, 99}},
+		{"duplicate", []uint32{3, 3}},
+	} {
+		if _, err := NewSetFilter(llc, tc.sampled); err == nil {
+			t.Errorf("%s: NewSetFilter accepted %v", tc.name, tc.sampled)
+		}
+	}
+}
+
+// TestSetFilterCounts drives a filter directly and checks that only
+// accesses mapping to sampled sets reach the cache and the per-set
+// counters reconcile exactly with the wrapped cache's stats.
+func TestSetFilterCounts(t *testing.T) {
+	llc := newFilterTestLLC(t)
+	sampled := []uint32{1, 5, 11}
+	f, err := NewSetFilter(llc, sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := uint64(llc.NumSets())
+	var accs []mem.Access
+	for i := uint64(0); i < 4*sets; i++ {
+		accs = append(accs, mem.Access{Addr: i * 64}) // one access per set, four rounds
+	}
+	f.Consume(accs)
+	acc, miss := f.Counts()
+	var totalAcc, totalMiss uint64
+	for i := range acc {
+		if acc[i] != 4 {
+			t.Errorf("set %d: %d accesses counted, want 4", sampled[i], acc[i])
+		}
+		totalAcc += acc[i]
+		totalMiss += miss[i]
+	}
+	if got := llc.Stats.Accesses(); got != totalAcc {
+		t.Errorf("wrapped cache saw %d accesses, counters say %d", got, totalAcc)
+	}
+	if llc.Stats.Misses != totalMiss {
+		t.Errorf("wrapped cache recorded %d misses, counters say %d", llc.Stats.Misses, totalMiss)
+	}
+}
+
+func newFilterTestLLC(t *testing.T) *cache.Cache {
+	t.Helper()
+	cfg := cache.Config{SizeBytes: 16 << 10, Ways: 16} // 16 sets
+	llc, err := cache.New(cfg, cache.NewLRU(cfg.Sets(), cfg.Ways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return llc
+}

@@ -14,7 +14,9 @@
 # (load/reorder/record/replay/direct engine time + render), per-
 # experiment render times and the total, plus GOMAXPROCS — compare
 # files across PRs to track the perf trajectory; `compare` prints
-# phase:* delta rows so a regression localizes to a phase.
+# phase:* delta rows so a regression localizes to a phase. A second
+# snapshot (<out>-sampled.json) times the set-sampled fast tier against
+# full-fidelity replay on the fig2 sweep.
 set -eu
 caller="$PWD"
 cd "$(dirname "$0")/.."
@@ -34,13 +36,22 @@ if [ "${1:-}" = "compare" ]; then
 fi
 
 out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+sampled_out="${OUT_SAMPLED:-${out%.json}-sampled.json}"
 scale="${SCALE:-8}"
 
 go build ./...
 echo "running full experiment sweep at 1/$scale scale..." >&2
 go run ./cmd/graspsim -exp all -scale "$scale" -bench-json "$out" > /dev/null
 
+# Sampled fast tier on the fig2 sweep: the run records a replay-sampled
+# vs replay-full phase pair in the snapshot, so the fast tier's real
+# speedup (bounded by decode share — DESIGN.md Sec. 14) is tracked per
+# release instead of assumed.
+echo "running sampled-tier fig2 sweep at 1/$scale scale..." >&2
+go run ./cmd/graspsim -exp fig2 -scale "$scale" -fidelity sampled \
+    -bench-json "$sampled_out" > /dev/null
+
 # Hot-path micro smoke (not recorded; printed for the log).
 go test -run '^$' -bench 'PolicyGRASP$|PageRankSimulated$' -benchtime=1x .
 
-echo "wrote $out" >&2
+echo "wrote $out and $sampled_out" >&2
