@@ -54,6 +54,8 @@ type options struct {
 	reorder    string
 	fidelity   string
 	sampleK    uint
+	corun      string
+	corunRatio string
 	remote     string
 	priority   int
 	timeout    time.Duration
@@ -81,6 +83,13 @@ const usageExamples = `Examples:
                                        served from its result store
   graspsim -remote localhost:8337 -exp fig2 -scale 64
                                        experiments work remotely too
+
+  graspsim -graph lj -app PR -corun BFS,TC -policy GRASP
+                                       co-run: PR, BFS and TC interleaved into one
+                                       shared LLC; prints per-app miss attribution,
+                                       weighted speedup and unfairness
+  graspsim -graph lj -app PR -corun PR -corun-ratio 2,1
+                                       two PR instances at a 2:1 interleave ratio
 
   graspsim -graph tw -app PR -policy GRASP -fidelity sampled -sample-k 16
                                        fast tier: simulate 1/16 of the LLC sets,
@@ -113,6 +122,10 @@ func newFlags() (*flag.FlagSet, *options) {
 		"simulation tier: 'full' (exact) or 'sampled' (simulate 1/K of the LLC sets, report estimates with a 95% CI)")
 	fs.UintVar(&o.sampleK, "sample-k", 0,
 		"sampled fidelity: set-sampling divisor K, a power of two (0 = default 16); 1 is exact")
+	fs.StringVar(&o.corun, "corun", "",
+		"-graph mode: co-run -app with these comma-separated apps in one shared LLC and report per-app interference metrics")
+	fs.StringVar(&o.corunRatio, "corun-ratio", "",
+		"-corun mode: comma-separated round-robin weights, one per app incl. -app itself (default uniform)")
 	fs.StringVar(&o.remote, "remote", "",
 		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
 	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
@@ -232,6 +245,20 @@ func realMain(o *options) int {
 		return 1
 	}
 
+	if o.corun != "" || o.corunRatio != "" {
+		switch {
+		case o.corun == "":
+			fmt.Fprintln(os.Stderr, "graspsim: -corun-ratio requires -corun")
+			return 1
+		case o.graphSpec == "":
+			fmt.Fprintln(os.Stderr, "graspsim: -corun requires -graph (the co-runners share one dataset)")
+			return 1
+		case o.fidelity == jobs.FidelitySampled:
+			fmt.Fprintln(os.Stderr, "graspsim: -corun runs at full fidelity only")
+			return 1
+		}
+	}
+
 	stopProfiles, err := startProfiles(o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graspsim:", err)
@@ -257,9 +284,12 @@ func realMain(o *options) int {
 
 	if o.graphSpec != "" {
 		var err error
-		if o.fidelity == jobs.FidelitySampled {
+		switch {
+		case o.corun != "":
+			err = runSingleCorun(o)
+		case o.fidelity == jobs.FidelitySampled:
 			err = runSingleSampled(o)
-		} else {
+		default:
 			err = runSingle(o.graphSpec, o.app, o.policy, o.reorder, uint32(o.scale))
 		}
 		if err != nil {
@@ -379,9 +409,26 @@ func runRemote(o *options, w io.Writer) error {
 			// keeps its pre-fidelity wire shape (and content address).
 			spec.Fidelity, spec.SampleK = o.fidelity, uint32(o.sampleK)
 		}
+		if o.corun != "" {
+			// Likewise only for co-run requests: non-co-run specs keep their
+			// pre-co-run wire shape and content address.
+			corunApps, ratio, err := parseCorun(o)
+			if err != nil {
+				return err
+			}
+			spec.CorunApps, spec.CorunRatio = corunApps, ratio
+		}
 		outcome, err := client.RunSync(spec, o.priority)
 		if err != nil {
 			return err
+		}
+		if outcome.Corun != nil {
+			r := *outcome.Corun
+			fmt.Fprintf(w, "co-run: %s on %s reorder=%s policy=%s (remote, %.2fs simulated)\n",
+				strings.Join(append([]string{o.app}, spec.CorunApps...), "+"),
+				r.Workload, o.reorder, o.policy, outcome.Elapsed)
+			printCorunMetrics(w, r)
+			return nil
 		}
 		if outcome.Sampled != nil {
 			r := *outcome.Sampled
@@ -573,6 +620,86 @@ func runSampledSweep(o *options, w io.Writer) error {
 			len(sweep), phases["sampled"], phases["replay"], phases["replay"]/phases["sampled"])
 	}
 	return writeBenchRecord(o.benchJSON, record)
+}
+
+// parseCorun resolves the -corun/-corun-ratio flags into the co-runner
+// list (excluding -app itself, matching the jobs wire shape) and the
+// weights of the whole mix (nil = uniform).
+func parseCorun(o *options) (corunApps []string, ratio []int, err error) {
+	for _, a := range strings.Split(o.corun, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, nil, fmt.Errorf("-corun has an empty app name")
+		}
+		corunApps = append(corunApps, a)
+	}
+	if o.corunRatio == "" {
+		return corunApps, nil, nil
+	}
+	for _, s := range strings.Split(o.corunRatio, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &w); err != nil || w < 1 {
+			return nil, nil, fmt.Errorf("-corun-ratio weight %q: want an integer >= 1", s)
+		}
+		ratio = append(ratio, w)
+	}
+	if len(ratio) != 1+len(corunApps) {
+		return nil, nil, fmt.Errorf("-corun-ratio has %d weights for %d apps (include -app itself)",
+			len(ratio), 1+len(corunApps))
+	}
+	return corunApps, ratio, nil
+}
+
+// runSingleCorun is -graph mode with -corun: the mix's apps are each
+// recorded once, interleaved into one shared LLC under -policy, and scored
+// against their own solo replays (DESIGN.md Sec. 15).
+func runSingleCorun(o *options) error {
+	ds, err := graph.Resolve(o.graphSpec)
+	if err != nil {
+		return err
+	}
+	corunApps, ratio, err := parseCorun(o)
+	if err != nil {
+		return err
+	}
+	mix := append([]string{o.app}, corunApps...)
+	cfg := exp.DefaultConfig()
+	if o.scale > 1 {
+		cfg = exp.ScaledConfig(uint32(o.scale))
+		if ds.Kind == graph.KindFile {
+			fmt.Fprintf(os.Stderr,
+				"graspsim: note: -scale %d shrinks only the cache hierarchy; the file graph always loads at full size\n", o.scale)
+		}
+	}
+	session := exp.NewSession(cfg)
+	r, err := session.CorunResult(o.graphSpec, o.reorder, mix, ratio, apps.LayoutMerged, o.policy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("co-run: %s on %s reorder=%s policy=%s\n",
+		strings.Join(mix, "+"), ds.Name, o.reorder, o.policy)
+	printCorunMetrics(os.Stdout, r)
+	return nil
+}
+
+// printCorunMetrics renders one co-run: per-app attribution rows against
+// their solo baselines, the shared-LLC totals, and the mix's fairness
+// summary.
+func printCorunMetrics(w io.Writer, r sim.CorunResult) {
+	t := stats.NewTable("App", "Wt", "LLCAcc", "LLCMiss", "Miss%", "SoloMiss%", "Delta", "Slowdown")
+	for _, a := range r.Apps {
+		t.AddRow(a.App, fmt.Sprint(a.Weight),
+			fmt.Sprint(a.LLC.Accesses()), fmt.Sprint(a.LLC.Misses),
+			fmt.Sprintf("%.2f", 100*a.LLC.MissRatio()),
+			fmt.Sprintf("%.2f", 100*a.Solo.LLC.MissRatio()),
+			fmt.Sprintf("%+.2f", 100*a.MissRateDelta()),
+			fmt.Sprintf("%.3f", a.Slowdown))
+	}
+	fmt.Fprintln(w, t)
+	fmt.Fprintf(w, "shared LLC: %d accesses, %d misses (%.1f%%), %d bypasses, %d writebacks\n",
+		r.LLC.Accesses(), r.LLC.Misses, 100*r.LLC.MissRatio(), r.LLC.Bypasses, r.LLC.Writebacks)
+	fmt.Fprintf(w, "weighted speedup: %.3f (ideal %d)   unfairness: %.3f\n",
+		r.WeightedSpeedup, len(r.Apps), r.Unfairness)
 }
 
 // printSampledMetrics renders a set-sampled estimate: exact upper levels,

@@ -1,0 +1,280 @@
+// The co-run experiment (DESIGN.md Sec. 15): multi-programmed mixes of
+// the graph kernels contending for one shared LLC, replayed from the
+// session's record-once traces. Each app in a mix is recorded exactly
+// once (the same recording that backs its solo results), so a sweep of
+// every policy over every mix pays one application execution per app,
+// not one per cell — the co-run lift of the broadcast fan-out economics.
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"grasp/internal/apps"
+	"grasp/internal/sim"
+	"grasp/internal/stats"
+)
+
+// CorunRuns returns how many distinct shared-LLC co-run replays the
+// session has computed (cache hits and merged requests do not count) —
+// the co-run twin of SimRuns, surfaced by graspd /metrics.
+func (s *Session) CorunRuns() uint64 { return s.corunRun.Load() }
+
+// CorunResult is CorunResultCtx without cancellation.
+func (s *Session) CorunResult(dsName, reorderName string, appNames []string, weights []int, layout apps.Layout, policy string) (sim.CorunResult, error) {
+	return s.CorunResultCtx(context.Background(), dsName, reorderName, appNames, weights, layout, policy)
+}
+
+// CorunResultCtx returns the interference metrics of one co-run mix: the
+// named apps' recorded streams interleaved round-robin (weights[i]
+// accesses per turn; nil = uniform) into one shared LLC under the given
+// policy, each app scored against its own solo replay of the same
+// recording. Results cache per (dataset, reorder, mix, weights, layout,
+// policy) and never alias solo results; the solo baselines themselves go
+// through the ordinary result cache, so a co-run warms the solo sweep
+// and vice versa. Apps may repeat in the mix (two copies of PR are two
+// streams over one recording).
+func (s *Session) CorunResultCtx(ctx context.Context, dsName, reorderName string, appNames []string, weights []int, layout apps.Layout, policy string) (sim.CorunResult, error) {
+	if len(appNames) == 0 {
+		return sim.CorunResult{}, fmt.Errorf("exp: co-run needs at least one app")
+	}
+	if weights == nil {
+		weights = make([]int, len(appNames))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(appNames) {
+		return sim.CorunResult{}, fmt.Errorf("exp: co-run has %d apps but %d weights", len(appNames), len(weights))
+	}
+	wparts := make([]string, len(weights))
+	for i, w := range weights {
+		wparts[i] = fmt.Sprint(w)
+	}
+	key := fmt.Sprintf("%s|%s|%s|%v|%s|w%s|corun", s.datasetKey(dsName), reorderName,
+		strings.Join(appNames, "+"), layout, policy, strings.Join(wparts, ","))
+	for {
+		r, err := s.corun.doTransient(key, func() (sim.CorunResult, error) {
+			// Solo baselines first, via the ordinary result cache. viaTrace is
+			// forced: the co-run replays the recording, so the baseline must be
+			// the replay of the SAME recording (identical anyway, by the
+			// replay-equivalence invariant, but this also guarantees the
+			// recording exists before the groups are pinned below).
+			solos := make(map[string]sim.Result, len(appNames))
+			for _, app := range appNames {
+				if _, ok := solos[app]; ok {
+					continue
+				}
+				p := Datapoint{DS: dsName, Reorder: reorderName, App: app, Layout: layout, Policy: policy}
+				solo, err := s.result(ctx, p, true)
+				if err != nil {
+					return sim.CorunResult{}, err
+				}
+				solos[app] = solo
+			}
+			groups := make([]groupKey, 0, len(solos))
+			for _, app := range appNames {
+				g := groupKey{ds: dsName, reorder: reorderName, app: app, layout: layout}
+				seen := false
+				for _, have := range groups {
+					if have == g {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					groups = append(groups, g)
+				}
+			}
+			var r sim.CorunResult
+			err := s.withRecordings(ctx, groups, func(recs map[groupKey]recording) error {
+				w, err := s.Workload(dsName, reorderName, false)
+				if err != nil {
+					return err
+				}
+				streams := make([]sim.CorunStream, len(appNames))
+				for i, app := range appNames {
+					rec := recs[groupKey{ds: dsName, reorder: reorderName, app: app, layout: layout}]
+					streams[i] = sim.CorunStream{App: app, Layout: layout, Weight: weights[i],
+						Trace: rec.tr, Bounds: rec.bounds, Solo: solos[app]}
+				}
+				start := time.Now()
+				var rerr error
+				r, rerr = sim.CorunReplayResultCtx(ctx, streams, policy, s.Cfg.HCfg, w.Dataset.Name)
+				s.phase.corun.Add(int64(time.Since(start)))
+				return rerr
+			})
+			if err != nil {
+				return sim.CorunResult{}, err
+			}
+			s.corunRun.Add(1)
+			return r, nil
+		})
+		if foreignCancel(ctx, err) {
+			continue
+		}
+		return r, err
+	}
+}
+
+// withRecordings runs fn with every listed group's full recording pinned
+// at once — the N-stream generalization of withRecording, built by
+// nesting it so each pin keeps its own lose-the-race retry.
+func (s *Session) withRecordings(ctx context.Context, keys []groupKey, fn func(recs map[groupKey]recording) error) error {
+	recs := make(map[groupKey]recording, len(keys))
+	var pin func(i int) error
+	pin = func(i int) error {
+		if i == len(keys) {
+			return fn(recs)
+		}
+		return s.withRecording(ctx, keys[i], false, func(rec recording) error {
+			recs[keys[i]] = rec
+			return pin(i + 1)
+		})
+	}
+	return pin(0)
+}
+
+// corunMixes returns the experiment's co-runner mixes in sweep order: the
+// {2,4,8}-way combinations of the four kernels (the 8-way mix doubles
+// each kernel — two instances of one app are two independent streams).
+func corunMixes() [][]string {
+	return [][]string{
+		{"BFS", "PR"},
+		{"KCore", "TC"},
+		{"BFS", "PR", "KCore", "TC"},
+		{"BFS", "PR", "KCore", "TC", "BFS", "PR", "KCore", "TC"},
+	}
+}
+
+// corunApps returns the distinct kernels appearing in any mix, in a fixed
+// order (the solo-baseline matrix).
+func corunApps() []string { return []string{"BFS", "PR", "KCore", "TC"} }
+
+// corunSchemes returns every registered policy except RRIP (declared
+// implicitly by matrixPoints), matching the scenario sweep's coverage
+// rule: a policy cannot register without a co-run datapoint.
+func corunSchemes() []string {
+	var out []string
+	for _, p := range sim.Policies() {
+		if p.Name != "RRIP" {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// corunPoints declares the solo-baseline matrix: every policy x kernel x
+// high-skew dataset under DBG. Prefetch computes them via the broadcast
+// fan-out, recording each (dataset, app) group once — the same recordings
+// the co-run replays interleave, so the experiment body's co-runs start
+// from warm traces and warm baselines.
+func corunPoints() []Datapoint {
+	return matrixPoints(highSkewNames(), "DBG", corunApps(), corunSchemes())
+}
+
+// mixLabel renders a mix for table headers: "BFS+PR", "2x(BFS+PR+...)"
+// for the doubled 8-way mix.
+func mixLabel(mix []string) string {
+	half := len(mix) / 2
+	if half > 0 && len(mix)%2 == 0 {
+		doubled := true
+		for i := 0; i < half; i++ {
+			if mix[i] != mix[half+i] {
+				doubled = false
+				break
+			}
+		}
+		if doubled {
+			return "2x(" + strings.Join(mix[:half], "+") + ")"
+		}
+	}
+	return strings.Join(mix, "+")
+}
+
+// runCorun renders the co-run sweep: for every mix, one table of weighted
+// speedup (higher is better; ideal = mix size) and one of unfairness
+// (lower is better; 1 = perfectly fair) per policy x dataset, then a
+// per-app interference detail for the 4-way mix under the baseline and
+// GRASP on the first dataset.
+func runCorun(s *Session, w io.Writer) error {
+	if err := s.Prefetch(corunPoints()); err != nil {
+		return err
+	}
+	datasets := highSkewNames()
+	policies := append([]string{"RRIP"}, corunSchemes()...)
+	mixes := corunMixes()
+	// Fan every (mix, policy, dataset) cell out over the worker pool; the
+	// cache makes the sequential rendering below instant. Errors surface
+	// on the rendering pass in deterministic order.
+	type cell struct {
+		mix    int
+		policy string
+		ds     string
+	}
+	var cells []cell
+	for mi := range mixes {
+		for _, pol := range policies {
+			for _, ds := range datasets {
+				cells = append(cells, cell{mix: mi, policy: pol, ds: ds})
+			}
+		}
+	}
+	forEachParallel(len(cells), func(i int) {
+		c := cells[i]
+		_, _ = s.CorunResult(c.ds, "DBG", mixes[c.mix], nil, apps.LayoutMerged, c.policy)
+	})
+	for _, mix := range mixes {
+		ws := stats.NewTable(append([]string{"Policy"}, append(append([]string{}, datasets...), "Mean")...)...)
+		unf := stats.NewTable(append([]string{"Policy"}, append(append([]string{}, datasets...), "Mean")...)...)
+		for _, pol := range policies {
+			wsRow, unfRow := []string{pol}, []string{pol}
+			var wsVals, unfVals []float64
+			for _, ds := range datasets {
+				r, err := s.CorunResult(ds, "DBG", mix, nil, apps.LayoutMerged, pol)
+				if err != nil {
+					return err
+				}
+				wsVals = append(wsVals, r.WeightedSpeedup)
+				unfVals = append(unfVals, r.Unfairness)
+				wsRow = append(wsRow, fmt.Sprintf("%.2f", r.WeightedSpeedup))
+				unfRow = append(unfRow, fmt.Sprintf("%.2f", r.Unfairness))
+			}
+			wsRow = append(wsRow, fmt.Sprintf("%.2f", stats.Mean(wsVals)))
+			unfRow = append(unfRow, fmt.Sprintf("%.2f", stats.Mean(unfVals)))
+			ws.AddRow(wsRow...)
+			unf.AddRow(unfRow...)
+		}
+		if _, err := fmt.Fprintf(w, "Co-run %s: weighted speedup (ideal %d)\n%s\n", mixLabel(mix), len(mix), ws); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "Co-run %s: unfairness (max/min slowdown, 1 = fair)\n%s\n", mixLabel(mix), unf); err != nil {
+			return err
+		}
+	}
+	// Per-app detail: who pays for the contention, under the baseline and
+	// under GRASP, on the 4-way mix.
+	detailMix := mixes[2]
+	detailDS := datasets[0]
+	for _, pol := range []string{"RRIP", "GRASP"} {
+		r, err := s.CorunResult(detailDS, "DBG", detailMix, nil, apps.LayoutMerged, pol)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("App", "SoloMiss%", "CorunMiss%", "Delta", "Slowdown")
+		for _, a := range r.Apps {
+			t.AddRow(a.App,
+				fmt.Sprintf("%.2f", a.Solo.LLC.MissRatio()*100),
+				fmt.Sprintf("%.2f", a.LLC.MissRatio()*100),
+				fmt.Sprintf("%+.2f", a.MissRateDelta()*100),
+				fmt.Sprintf("%.3f", a.Slowdown))
+		}
+		if _, err := fmt.Fprintf(w, "Per-app interference, %s on %s under %s\n%s\n", mixLabel(detailMix), detailDS, pol, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

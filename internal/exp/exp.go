@@ -239,17 +239,19 @@ type Session struct {
 	workloads  *flightCache[*sim.Workload]
 	results    *flightCache[sim.Result]
 	sampled    *flightCache[sim.SampledResult]
+	corun      *flightCache[sim.CorunResult]
 	traces     *flightCache[recording]
 	simRuns    atomic.Uint64 // number of distinct simulated result datapoints (dedup observability)
 	broadcasts atomic.Uint64 // groups whose replays were served by one broadcast decode
 	sampledRun atomic.Uint64 // distinct set-sampled estimates computed (fast-tier observability)
+	corunRun   atomic.Uint64 // distinct shared-LLC co-run replays computed (DESIGN.md Sec. 15)
 
 	// phase accumulates cumulative engine nanoseconds per prefetch phase
 	// (across workers, so a multi-core batch's phases can sum past
 	// wall-clock); PhaseSeconds exposes it for the bench tooling's
 	// per-phase regression tracking.
 	phase struct {
-		load, reorder, record, replay, direct, sampled atomic.Int64
+		load, reorder, record, replay, direct, sampled, corun atomic.Int64
 	}
 
 	stampMu sync.Mutex
@@ -316,6 +318,7 @@ func NewSession(cfg Config) *Session {
 		workloads: newFlightCache[*sim.Workload](),
 		results:   newFlightCache[sim.Result](),
 		sampled:   newFlightCache[sim.SampledResult](),
+		corun:     newFlightCache[sim.CorunResult](),
 		traces:    newFlightCache[recording](),
 		stamps:    make(map[string]fileStamp),
 		fileUse:   make(map[string]*fileUsage),
@@ -338,8 +341,9 @@ func (s *Session) Broadcasts() uint64 { return s.broadcasts.Load() }
 // "load" (dataset generation/ingestion), "reorder" (vertex reordering +
 // relabeling), "record" (traced application executions), "replay"
 // (trace decode + LLC simulation, broadcast or single), "direct"
-// (execution-driven simulations that bypassed the trace engine) and
-// "sampled" (set-sampled fast-tier replays, DESIGN.md Sec. 14). Values
+// (execution-driven simulations that bypassed the trace engine),
+// "sampled" (set-sampled fast-tier replays, DESIGN.md Sec. 14) and
+// "corun" (interleaved shared-LLC co-run replays, Sec. 15). Values
 // are worker-cumulative — on a multi-core host the phases of one wall
 // second can sum to several phase-seconds — and monotone over the
 // session's lifetime; the bench tooling records them so a prefetch
@@ -353,6 +357,7 @@ func (s *Session) PhaseSeconds() map[string]float64 {
 		"replay":  sec(&s.phase.replay),
 		"direct":  sec(&s.phase.direct),
 		"sampled": sec(&s.phase.sampled),
+		"corun":   sec(&s.phase.corun),
 	}
 }
 
@@ -403,7 +408,7 @@ func (s *Session) datasetKey(dsName string) string {
 			return strings.HasPrefix(k, dsName+"@") && !strings.HasPrefix(k, curKey+"|")
 		}
 		for _, c := range []interface{ deleteMatching(func(string) bool) }{
-			s.bases, s.workloads, s.results, s.sampled,
+			s.bases, s.workloads, s.results, s.sampled, s.corun,
 		} {
 			c.deleteMatching(stale)
 		}
@@ -503,7 +508,7 @@ func (s *Session) evictDataset(dsName string) {
 	prefix := dsName + "@"
 	match := func(k string) bool { return strings.HasPrefix(k, prefix) }
 	for _, c := range []interface{ deleteMatching(func(string) bool) }{
-		s.bases, s.workloads, s.results, s.sampled,
+		s.bases, s.workloads, s.results, s.sampled, s.corun,
 	} {
 		c.deleteMatching(match)
 	}
@@ -1266,6 +1271,7 @@ func All() []Experiment {
 		{ID: "ablation-ship", Title: "Extra: SHiP-PC vs SHiP-MEM signatures (Sec. II-F)", Run: runAblationSHiP, Points: ablationSHiPPoints},
 		{ID: "streaming", Title: "Extra: reordering staleness under graph updates (Sec. VI)", Run: runStreaming},
 		{ID: "scenarios", Title: "Extra: every policy on the extension workloads (KCore, TC)", Run: runScenarios, Points: scenarioPoints},
+		{ID: "corun", Title: "Extra: multi-programmed co-runs, weighted speedup and fairness", Run: runCorun, Points: corunPoints},
 	}
 }
 

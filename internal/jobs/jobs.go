@@ -679,6 +679,14 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Outcome, error) {
 			}
 			return &Outcome{Sampled: &r}, nil
 		}
+		if len(j.Spec.CorunApps) > 0 {
+			mix := append([]string{j.Spec.App}, j.Spec.CorunApps...)
+			r, err := s.CorunResultCtx(ctx, j.Spec.Graph, j.Spec.Reorder, mix, j.Spec.CorunRatio, apps.LayoutMerged, j.Spec.Policy)
+			if err != nil {
+				return nil, err
+			}
+			return &Outcome{Corun: &r}, nil
+		}
 		r, err := s.ResultCtx(ctx, j.Spec.Graph, j.Spec.Reorder, j.Spec.App, apps.LayoutMerged, j.Spec.Policy)
 		if err != nil {
 			return nil, err
@@ -801,6 +809,9 @@ type Metrics struct {
 	// SampledRuns counts distinct set-sampled fast-tier estimates computed
 	// across all sessions (DESIGN.md Sec. 14).
 	SampledRuns uint64
+	// CorunRuns counts distinct shared-LLC co-run replays computed across
+	// all sessions (DESIGN.md Sec. 15).
+	CorunRuns uint64
 	// BroadcastGroups counts recording groups served through the
 	// decode-once broadcast path across all sessions; BroadcastReplays is
 	// the process-wide count of completed broadcast fan-outs and
@@ -819,12 +830,13 @@ type Metrics struct {
 
 // Metrics returns a snapshot of the manager's counters.
 func (m *Manager) Metrics() Metrics {
-	var simRuns, sampledRuns, broadcastGroups uint64
+	var simRuns, sampledRuns, corunRuns, broadcastGroups uint64
 	var traceBytes int64
 	m.mu.Lock()
 	for _, s := range m.sessions {
 		simRuns += s.SimRuns()
 		sampledRuns += s.SampledRuns()
+		corunRuns += s.CorunRuns()
 		broadcastGroups += s.Broadcasts()
 		traceBytes += s.TraceBytesRetained()
 	}
@@ -853,6 +865,7 @@ func (m *Manager) Metrics() Metrics {
 		StoredOutcomes:     m.store.Len(),
 		SimRuns:            simRuns,
 		SampledRuns:        sampledRuns,
+		CorunRuns:          corunRuns,
 		CachedGraphFiles:   graph.CachedFiles(),
 	}
 }

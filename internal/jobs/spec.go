@@ -75,6 +75,18 @@ type Spec struct {
 	// DefaultSampleK. 1 is exact (every set) and still reports the
 	// estimate form. Only valid with sampled fidelity.
 	SampleK uint32 `json:"sample_k,omitempty"`
+	// CorunApps names co-running applications: when set, the job replays
+	// App plus these apps interleaved into one shared LLC and reports
+	// per-app attribution and fairness metrics (DESIGN.md Sec. 15) instead
+	// of a single-app result. KindSingle, full fidelity only; the mix is
+	// [App, CorunApps...] in order, and apps may repeat.
+	CorunApps []string `json:"corun_apps,omitempty"`
+	// CorunRatio gives the round-robin interleave weights of the mix, one
+	// per app including App itself (so len = 1 + len(CorunApps)); every
+	// weight must be >= 1. Omitted = uniform (all 1s, the canonical form —
+	// an explicit all-ones ratio hashes identically to an omitted one).
+	// Only valid with corun_apps.
+	CorunRatio []int `json:"corun_ratio,omitempty"`
 	// TimeoutS is an optional wall-clock budget in seconds: the job is
 	// cancelled (and fails) once it runs longer. 0 falls back to the
 	// server's default deadline, if any. It is a scheduling option, not
@@ -139,7 +151,47 @@ func (s *Spec) Canonicalize() error {
 		default:
 			return fmt.Errorf("jobs: unknown fidelity %q (want %q or %q)", s.Fidelity, FidelityFull, FidelitySampled)
 		}
+		if len(s.CorunApps) == 0 {
+			if len(s.CorunRatio) != 0 {
+				return fmt.Errorf("jobs: corun_ratio is only valid with corun_apps")
+			}
+		} else {
+			if s.Fidelity != FidelityFull {
+				return fmt.Errorf("jobs: corun_apps is only valid with %q fidelity", FidelityFull)
+			}
+			if 1+len(s.CorunApps) > sim.MaxCorunApps {
+				return fmt.Errorf("jobs: co-run of %d apps exceeds the maximum %d", 1+len(s.CorunApps), sim.MaxCorunApps)
+			}
+			for _, a := range s.CorunApps {
+				if !knownApp(a) {
+					return fmt.Errorf("jobs: unknown corun app %q; known: %v", a, apps.ExtendedNames())
+				}
+			}
+			switch {
+			case len(s.CorunRatio) == 0:
+				// Canonical form: uniform weights stay omitted, so an explicit
+				// all-ones ratio normalizes to the same spec (and hash).
+			case len(s.CorunRatio) != 1+len(s.CorunApps):
+				return fmt.Errorf("jobs: corun_ratio has %d weights for %d apps", len(s.CorunRatio), 1+len(s.CorunApps))
+			default:
+				uniform := true
+				for _, w := range s.CorunRatio {
+					if w < 1 {
+						return fmt.Errorf("jobs: corun_ratio weight %d, want >= 1", w)
+					}
+					if w != 1 {
+						uniform = false
+					}
+				}
+				if uniform {
+					s.CorunRatio = nil
+				}
+			}
+		}
 	case KindExperiment:
+		if len(s.CorunApps) != 0 || len(s.CorunRatio) != 0 {
+			return fmt.Errorf("jobs: %q job must set only exp and scale", KindExperiment)
+		}
 		if s.Graph != "" || s.App != "" || s.Policy != "" || s.Reorder != "" || s.Fidelity != "" || s.SampleK != 0 {
 			return fmt.Errorf("jobs: %q job must set only exp and scale", KindExperiment)
 		}
@@ -235,6 +287,16 @@ func (s Spec) identityAndHash() (gid, hash string, err error) {
 		// minted before the field existed still resolves to its stored
 		// outcome (the pinned-hash compat test enforces this).
 		fmt.Fprintf(h, "fidelity:%s/%d\x00", s.Fidelity, s.SampleK)
+	}
+	if len(s.CorunApps) > 0 {
+		// Same rule for the co-run fields: only co-run specs digest them,
+		// so every pre-co-run address — including the sampled tier's — is
+		// byte-unchanged (the pre-PR-8 pinned-hash test enforces this).
+		fmt.Fprintf(h, "corun:%s", strings.Join(s.CorunApps, ","))
+		for _, w := range s.CorunRatio {
+			fmt.Fprintf(h, "/%d", w)
+		}
+		fmt.Fprintf(h, "\x00")
 	}
 	return gid, hex.EncodeToString(h.Sum(nil)), nil
 }

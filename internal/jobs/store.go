@@ -23,8 +23,11 @@ type Outcome struct {
 	// Single holds the cache metrics of a full-fidelity KindSingle run.
 	Single *sim.Result `json:"single,omitempty"`
 	// Sampled holds the set-sampled estimate of a sampled-fidelity
-	// KindSingle run (exactly one of Single/Sampled/Output is set).
+	// KindSingle run (exactly one of Single/Sampled/Corun/Output is set).
 	Sampled *sim.SampledResult `json:"sampled,omitempty"`
+	// Corun holds the shared-LLC co-run metrics of a KindSingle run with
+	// corun_apps set (DESIGN.md Sec. 15).
+	Corun *sim.CorunResult `json:"corun,omitempty"`
 	// Output holds the rendered text body of a KindExperiment run.
 	Output string `json:"output,omitempty"`
 	// Elapsed is the wall-clock seconds of the execution that produced

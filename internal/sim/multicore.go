@@ -23,6 +23,12 @@ import (
 // concurrency; what they preserve is (a) private-cache filtering per core
 // and (b) fine-grained mixing of the cores' LLC-bound streams, which is
 // what shared-LLC replacement behaviour depends on.
+//
+// This models one multi-threaded application. The multi-PROGRAMMED
+// variant — independent applications contending for the LLC — lifts the
+// same quantum-interleaved drain to recorded streams with per-app
+// attribution and fairness metrics: see corun.go and
+// trace.InterleaveReplay (DESIGN.md Sec. 15).
 
 // MulticoreConfig configures the multicore hierarchy.
 type MulticoreConfig struct {

@@ -1,0 +1,155 @@
+// Interleaved multi-stream replay: the co-run consumer shape of the trace
+// engine (DESIGN.md Sec. 15). A broadcast replay fans ONE recording out to
+// many LLCs; an interleaved replay does the inverse — it merges MANY
+// recordings into one consumer, round-robin in ratio-weighted quanta, the
+// way a shared LLC observes the miss streams of co-scheduled cores
+// (sim.Multicore's drain loop, lifted to recorded streams). Each delivered
+// batch carries the index of the stream it came from, so the consumer can
+// attribute shared-cache activity back to the application that caused it.
+//
+// Determinism: the merged order is a pure function of the streams, their
+// weights and the limit — no goroutines, no channels — so a co-run replay
+// is exactly reproducible across runs and GOMAXPROCS settings, and a
+// single-stream interleave degenerates to the recording order of a plain
+// ReplayN (the equivalence the co-run suite pins).
+package trace
+
+import (
+	"context"
+	"fmt"
+
+	"grasp/internal/mem"
+)
+
+// InterleaveStream pairs one recorded trace with its round-robin ratio
+// weight: the stream issues Weight accesses per turn of the interleave
+// (sim.Multicore's QuantumAccesses, per stream). Streams may share one
+// *Trace — each entry decodes through its own cursor.
+type InterleaveStream struct {
+	Trace  *Trace
+	Weight int
+}
+
+// interleaveCursor is one stream's private decode position: the next chunk
+// to materialize, the decoded accesses of the current chunk, and the
+// block-delta state carried across chunks. Cursors never share scratch
+// space, so two streams over the same spilled trace pread independently.
+type interleaveCursor struct {
+	t         *Trace
+	ci        int          // next chunk index to decode
+	buf       []mem.Access // decoded accesses of the current chunk
+	pos       int          // next undelivered index in buf
+	lastBlock uint64
+	done      int64
+	limit     int64
+	dead      bool
+	scratch   []uint64
+	rbuf      []byte
+}
+
+// refill decodes the cursor's next chunk into buf, marking the cursor dead
+// when the stream (or its per-stream limit) is exhausted. The context is
+// checked here — once per chunk per stream, the same cancellation cadence
+// as ReplayNCtx.
+func (c *interleaveCursor) refill(ctx context.Context, ctxDone <-chan struct{}) error {
+	if c.done >= c.limit || c.ci >= len(c.t.chunks) {
+		c.dead = true
+		return nil
+	}
+	if ctxDone != nil {
+		select {
+		case <-ctxDone:
+			return ContextErr(ctx)
+		default:
+		}
+	}
+	words, err := c.t.materialize(c.ci, &c.scratch, &c.rbuf)
+	if err != nil {
+		return err
+	}
+	c.ci++
+	c.buf, c.lastBlock, c.done = c.t.decodeAppend(words, c.buf[:0], c.lastBlock, c.done, c.limit)
+	c.pos = 0
+	if len(c.buf) == 0 {
+		c.dead = true
+	}
+	return nil
+}
+
+// InterleaveReplay is InterleaveReplayCtx with a background context.
+func InterleaveReplay(streams []InterleaveStream, limit int64, consume func(stream int, accs []mem.Access)) error {
+	return InterleaveReplayCtx(context.Background(), streams, limit, consume)
+}
+
+// InterleaveReplayCtx merges the streams' decoded access sequences into
+// consume, deterministically: streams take turns in argument order, stream
+// i delivering up to Weight_i accesses per turn, until every stream is
+// exhausted (limit > 0 caps the accesses taken from EACH stream — the
+// bounded-prefix form, mirroring ReplayN). A stream that runs out simply
+// drops from the rotation; the survivors keep their weights, as live cores
+// keep issuing after a neighbor finishes.
+//
+// consume(stream, accs) receives each stream's accesses in that stream's
+// recording order, in batches of at most Weight_stream (smaller at chunk
+// seams); the concatenation of all batches for one stream is exactly what
+// a dedicated ReplayN of that trace would have decoded. Batches borrow the
+// cursor's decode buffer and are only valid during the call — consumers
+// must not retain them. consume runs on the calling goroutine; an
+// unsynchronized LLC simulation is a valid consumer.
+func InterleaveReplayCtx(ctx context.Context, streams []InterleaveStream, limit int64, consume func(stream int, accs []mem.Access)) error {
+	if len(streams) == 0 {
+		return fmt.Errorf("trace: interleave needs at least one stream")
+	}
+	cursors := make([]interleaveCursor, len(streams))
+	for i, st := range streams {
+		if st.Trace == nil {
+			return fmt.Errorf("trace: interleave stream %d has no trace", i)
+		}
+		if st.Weight <= 0 {
+			return fmt.Errorf("trace: interleave stream %d has weight %d, want >= 1", i, st.Weight)
+		}
+		if st.Trace.destroyed.Load() {
+			return errReleased
+		}
+		lim := st.Trace.n
+		if limit > 0 && limit < lim {
+			lim = limit
+		}
+		cursors[i] = interleaveCursor{t: st.Trace, limit: lim, dead: lim == 0}
+	}
+	ctxDone := ctx.Done()
+	alive := 0
+	for i := range cursors {
+		if !cursors[i].dead {
+			alive++
+		}
+	}
+	for alive > 0 {
+		for i := range cursors {
+			c := &cursors[i]
+			if c.dead {
+				continue
+			}
+			q := streams[i].Weight
+			for q > 0 {
+				if c.pos >= len(c.buf) {
+					if err := c.refill(ctx, ctxDone); err != nil {
+						return err
+					}
+					if c.dead {
+						alive--
+						break
+					}
+				}
+				take := len(c.buf) - c.pos
+				if take > q {
+					take = q
+				}
+				consume(i, c.buf[c.pos:c.pos+take])
+				c.pos += take
+				q -= take
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"grasp/internal/mem"
+)
+
+// recordAccesses builds an immutable trace from an access slice through
+// the raw recorder (resident layout; spill covered by the fuzz target).
+func recordAccesses(t testing.TB, accs []mem.Access) *Trace {
+	t.Helper()
+	r := NewRawRecorder()
+	for _, a := range accs {
+		r.Record(a)
+	}
+	tr, err := r.Finish(time.Duration(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// seqAccesses returns n distinct accesses whose addresses encode (stream,
+// position), so merged orders are checkable by value.
+func seqAccesses(stream, n int) []mem.Access {
+	out := make([]mem.Access, n)
+	for i := range out {
+		out[i] = mem.Access{Addr: uint64(stream)<<32 | uint64(i)<<6, PC: uint32(stream*1000 + i)}
+	}
+	return out
+}
+
+// collectInterleave replays the streams and returns the merged (stream,
+// access) order plus each stream's delivered concatenation.
+func collectInterleave(t testing.TB, streams []InterleaveStream, limit int64) (merged []int, perStream [][]mem.Access) {
+	t.Helper()
+	perStream = make([][]mem.Access, len(streams))
+	err := InterleaveReplay(streams, limit, func(stream int, accs []mem.Access) {
+		for _, a := range accs {
+			merged = append(merged, stream)
+			perStream[stream] = append(perStream[stream], a)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged, perStream
+}
+
+// TestInterleaveSingleStream: a 1-stream interleave delivers exactly the
+// recording order of a plain decode — the degenerate case the co-run
+// equivalence suite builds on.
+func TestInterleaveSingleStream(t *testing.T) {
+	want := seqAccesses(0, 1000)
+	tr := recordAccesses(t, want)
+	defer tr.Release()
+	_, per := collectInterleave(t, []InterleaveStream{{Trace: tr, Weight: 7}}, 0)
+	if len(per[0]) != len(want) {
+		t.Fatalf("delivered %d accesses, want %d", len(per[0]), len(want))
+	}
+	for i, a := range per[0] {
+		if a != want[i] {
+			t.Fatalf("access %d: got %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+// TestInterleaveRoundRobinOrder pins the merged schedule: streams take
+// turns in argument order, weight_i accesses per turn, and an exhausted
+// stream drops from the rotation while the survivors keep going.
+func TestInterleaveRoundRobinOrder(t *testing.T) {
+	a := recordAccesses(t, seqAccesses(0, 5))
+	defer a.Release()
+	b := recordAccesses(t, seqAccesses(1, 3))
+	defer b.Release()
+	merged, per := collectInterleave(t, []InterleaveStream{
+		{Trace: a, Weight: 2}, {Trace: b, Weight: 1},
+	}, 0)
+	// Turns: a,a,b | a,a,b | a(exhausted after 1),b.
+	want := []int{0, 0, 1, 0, 0, 1, 0, 1}
+	if fmt.Sprint(merged) != fmt.Sprint(want) {
+		t.Fatalf("merged order %v, want %v", merged, want)
+	}
+	for s, accs := range per {
+		for i, a := range accs {
+			if a != seqAccesses(s, len(accs))[i] {
+				t.Fatalf("stream %d out of recording order at %d", s, i)
+			}
+		}
+	}
+}
+
+// TestInterleaveSharedTrace: two streams over ONE trace decode through
+// independent cursors — both deliver the full recording.
+func TestInterleaveSharedTrace(t *testing.T) {
+	want := seqAccesses(0, 777)
+	tr := recordAccesses(t, want)
+	defer tr.Release()
+	_, per := collectInterleave(t, []InterleaveStream{
+		{Trace: tr, Weight: 3}, {Trace: tr, Weight: 1},
+	}, 0)
+	for s := range per {
+		if len(per[s]) != len(want) {
+			t.Fatalf("stream %d delivered %d accesses, want %d", s, len(per[s]), len(want))
+		}
+		for i, a := range per[s] {
+			if a != want[i] {
+				t.Fatalf("stream %d access %d: got %+v, want %+v", s, i, a, want[i])
+			}
+		}
+	}
+}
+
+// TestInterleaveLimit: limit > 0 caps the accesses taken from EACH stream
+// (the bounded-prefix form, mirroring ReplayN).
+func TestInterleaveLimit(t *testing.T) {
+	a := recordAccesses(t, seqAccesses(0, 100))
+	defer a.Release()
+	b := recordAccesses(t, seqAccesses(1, 10))
+	defer b.Release()
+	_, per := collectInterleave(t, []InterleaveStream{
+		{Trace: a, Weight: 1}, {Trace: b, Weight: 1},
+	}, 25)
+	if len(per[0]) != 25 || len(per[1]) != 10 {
+		t.Fatalf("delivered %d/%d accesses, want 25/10", len(per[0]), len(per[1]))
+	}
+}
+
+// TestInterleaveBatchesRespectWeight: no delivered batch exceeds its
+// stream's weight (chunk seams may shorten batches, never lengthen them).
+func TestInterleaveBatchesRespectWeight(t *testing.T) {
+	a := recordAccesses(t, seqAccesses(0, 500))
+	defer a.Release()
+	b := recordAccesses(t, seqAccesses(1, 400))
+	defer b.Release()
+	streams := []InterleaveStream{{Trace: a, Weight: 5}, {Trace: b, Weight: 3}}
+	err := InterleaveReplay(streams, 0, func(stream int, accs []mem.Access) {
+		if len(accs) == 0 || len(accs) > streams[stream].Weight {
+			t.Fatalf("stream %d delivered a batch of %d (weight %d)", stream, len(accs), streams[stream].Weight)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleaveDeterministic: the merged order is identical across runs
+// and GOMAXPROCS settings — the schedule is a pure function of (streams,
+// weights, limit).
+func TestInterleaveDeterministic(t *testing.T) {
+	a := recordAccesses(t, seqAccesses(0, 2000))
+	defer a.Release()
+	b := recordAccesses(t, seqAccesses(1, 1500))
+	defer b.Release()
+	streams := []InterleaveStream{{Trace: a, Weight: 4}, {Trace: b, Weight: 3}}
+	base, _ := collectInterleave(t, streams, 0)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for run := 0; run < 2; run++ {
+		got, _ := collectInterleave(t, streams, 0)
+		if fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Fatalf("run %d (GOMAXPROCS=1): merged order diverged", run)
+		}
+	}
+}
+
+// TestInterleaveValidation: the argument contract errors.
+func TestInterleaveValidation(t *testing.T) {
+	tr := recordAccesses(t, seqAccesses(0, 4))
+	consume := func(int, []mem.Access) {}
+	if err := InterleaveReplay(nil, 0, consume); err == nil {
+		t.Error("no streams accepted")
+	}
+	if err := InterleaveReplay([]InterleaveStream{{Trace: nil, Weight: 1}}, 0, consume); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if err := InterleaveReplay([]InterleaveStream{{Trace: tr, Weight: 0}}, 0, consume); err == nil {
+		t.Error("zero weight accepted")
+	}
+	tr.Release()
+	if err := InterleaveReplay([]InterleaveStream{{Trace: tr, Weight: 1}}, 0, consume); err == nil {
+		t.Error("released trace accepted")
+	}
+}
+
+// TestInterleaveCancellation: a cancelled context unwinds at a chunk
+// boundary with the context's error.
+func TestInterleaveCancellation(t *testing.T) {
+	tr := recordAccesses(t, seqAccesses(0, 10))
+	defer tr.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := InterleaveReplayCtx(ctx, []InterleaveStream{{Trace: tr, Weight: 1}}, 0,
+		func(int, []mem.Access) {})
+	if err == nil {
+		t.Fatal("cancelled interleave returned nil")
+	}
+}
+
+// FuzzInterleaveReplay feeds hostile recording pairs and arbitrary ratio
+// weights through the interleaver: two byte strings decode (13-byte
+// records, the codec fuzz targets' layout; spill toggled by an input
+// byte) into traces A and B, replayed as three streams — A, B, and A
+// again through a second cursor — under fuzzed weights and limit. Every
+// stream's delivered concatenation must equal its trace's independent
+// decode, batches must respect weights, and the merge must terminate.
+func FuzzInterleaveReplay(f *testing.F) {
+	f.Add([]byte{}, []byte{}, byte(1), byte(1), uint16(0))
+	seedA := make([]byte, 0, 13*6)
+	for i := 0; i < 6; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)<<uint(i*9))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(i)*2654435761)
+		rec[12] = byte(i)
+		seedA = append(seedA, rec[:]...)
+	}
+	f.Add(seedA, seedA[:13*2], byte(3), byte(1), uint16(4))
+	f.Add(seedA[:13], seedA, byte(200), byte(0), uint16(1))
+	f.Fuzz(func(t *testing.T, dataA, dataB []byte, wA, wB byte, limit16 uint16) {
+		const recSize = 13
+		decode := func(data []byte, spill bool) *Trace {
+			n := len(data) / recSize
+			if n > 1<<12 {
+				n = 1 << 12
+			}
+			r := NewRawRecorder()
+			if spill {
+				r.SetMemoryOverride(-1)
+			}
+			for i := 0; i < n; i++ {
+				rec := data[i*recSize:]
+				r.Record(mem.Access{
+					Addr:     binary.LittleEndian.Uint64(rec[:8]),
+					PC:       binary.LittleEndian.Uint32(rec[8:12]),
+					Write:    rec[12]&1 != 0,
+					Property: rec[12]&2 != 0,
+				})
+			}
+			tr, err := r.Finish(time.Duration(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		}
+		spill := len(dataA) > 0 && dataA[0]&4 != 0
+		trA := decode(dataA, spill)
+		defer trA.Release()
+		trB := decode(dataB, !spill)
+		defer trB.Release()
+		weightA := int(wA%8) + 1
+		weightB := int(wB%8) + 1
+		limit := int64(limit16)
+		streams := []InterleaveStream{
+			{Trace: trA, Weight: weightA},
+			{Trace: trB, Weight: weightB},
+			{Trace: trA, Weight: weightB},
+		}
+		got := make([][]mem.Access, len(streams))
+		err := InterleaveReplay(streams, limit, func(stream int, accs []mem.Access) {
+			if len(accs) == 0 || len(accs) > streams[stream].Weight {
+				t.Fatalf("stream %d: batch of %d exceeds weight %d", stream, len(accs), streams[stream].Weight)
+			}
+			got[stream] = append(got[stream], accs...)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, st := range streams {
+			want, err := st.Trace.Accesses(limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[s]) != len(want) {
+				t.Fatalf("stream %d: delivered %d accesses, independent decode has %d", s, len(got[s]), len(want))
+			}
+			for i := range want {
+				if got[s][i] != want[i] {
+					t.Fatalf("stream %d access %d: got %+v, want %+v", s, i, got[s][i], want[i])
+				}
+			}
+		}
+	})
+}

@@ -16,7 +16,8 @@
 # files across PRs to track the perf trajectory; `compare` prints
 # phase:* delta rows so a regression localizes to a phase. A second
 # snapshot (<out>-sampled.json) times the set-sampled fast tier against
-# full-fidelity replay on the fig2 sweep.
+# full-fidelity replay on the fig2 sweep, and a third
+# (<out>-corun.json) times the shared-LLC co-run fairness sweep.
 set -eu
 caller="$PWD"
 cd "$(dirname "$0")/.."
@@ -37,6 +38,7 @@ fi
 
 out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
 sampled_out="${OUT_SAMPLED:-${out%.json}-sampled.json}"
+corun_out="${OUT_CORUN:-${out%.json}-corun.json}"
 scale="${SCALE:-8}"
 
 go build ./...
@@ -51,7 +53,14 @@ echo "running sampled-tier fig2 sweep at 1/$scale scale..." >&2
 go run ./cmd/graspsim -exp fig2 -scale "$scale" -fidelity sampled \
     -bench-json "$sampled_out" > /dev/null
 
+# Co-run fairness sweep: the interleaved shared-LLC replays land in a
+# `corun` phase entry (DESIGN.md Sec. 15), so the multi-programmed
+# tier's cost is tracked per release alongside the solo engine's.
+echo "running co-run fairness sweep at 1/$scale scale..." >&2
+go run ./cmd/graspsim -exp corun -scale "$scale" \
+    -bench-json "$corun_out" > /dev/null
+
 # Hot-path micro smoke (not recorded; printed for the log).
 go test -run '^$' -bench 'PolicyGRASP$|PageRankSimulated$' -benchtime=1x .
 
-echo "wrote $out and $sampled_out" >&2
+echo "wrote $out, $sampled_out and $corun_out" >&2
