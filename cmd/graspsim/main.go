@@ -39,6 +39,7 @@ import (
 	"grasp/internal/server"
 	"grasp/internal/sim"
 	"grasp/internal/stats"
+	"grasp/internal/trace"
 )
 
 // options carries every graspsim flag; newFlags binds them so main and
@@ -156,6 +157,12 @@ type benchRecord struct {
 	Scale       uint    `json:"scale"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
 	PrefetchSec float64 `json:"prefetch_seconds"` // parallel fan-out phase (RunAll)
+	// SampleK and Skip are set by sampled-tier sweeps only: the sampling
+	// divisor the sweep ran at and the codec-layer skip accounting of its
+	// sampled replays, so benchcmp runs compare like-for-like K sweeps and
+	// the decode-bound retreat is visible in BENCH files.
+	SampleK uint32      `json:"sample_k,omitempty"`
+	Skip    *skipRecord `json:"skip,omitempty"`
 	// Phases breaks the engine time down by phase (load / reorder /
 	// record / replay / direct from exp.Session.PhaseSeconds, plus
 	// "render" = the sum of experiment body times), so a regression
@@ -165,6 +172,34 @@ type benchRecord struct {
 	Phases       map[string]float64 `json:"phases,omitempty"`
 	Experiments  []benchEntry       `json:"experiments"` // per-body render time
 	TotalSeconds float64            `json:"total_seconds"`
+}
+
+// skipRecord is trace.SkipReport in the -bench-json wire shape.
+type skipRecord struct {
+	ChunksSkipped     uint64  `json:"chunks_skipped"`
+	ChunksDecoded     uint64  `json:"chunks_decoded"`
+	BytesSkipped      uint64  `json:"bytes_skipped"`
+	BytesDecoded      uint64  `json:"bytes_decoded"`
+	AccessesSkipped   int64   `json:"accesses_skipped"`
+	AccessesPruned    int64   `json:"accesses_pruned"`
+	AccessesDelivered int64   `json:"accesses_delivered"`
+	SkipRatio         float64 `json:"skip_ratio"`
+	ChunkSkipRatio    float64 `json:"chunk_skip_ratio"`
+}
+
+// newSkipRecord converts a session's skip accounting for -bench-json.
+func newSkipRecord(rep trace.SkipReport) *skipRecord {
+	return &skipRecord{
+		ChunksSkipped:     rep.ChunksSkipped,
+		ChunksDecoded:     rep.ChunksDecoded,
+		BytesSkipped:      rep.BytesSkipped,
+		BytesDecoded:      rep.BytesDecoded,
+		AccessesSkipped:   rep.AccessesSkipped,
+		AccessesPruned:    rep.AccessesPruned,
+		AccessesDelivered: rep.AccessesDelivered,
+		SkipRatio:         rep.SkipRatio(),
+		ChunkSkipRatio:    rep.ChunkSkipRatio(),
+	}
 }
 
 func main() {
@@ -532,6 +567,10 @@ func runSingleSampled(o *options) error {
 	fmt.Printf("workload: %s app=%s reorder=%s policy=%s (sampled 1/%d)\n",
 		ds.Name, o.app, o.reorder, o.policy, r.SampleK)
 	printSampledMetrics(os.Stdout, r)
+	if skip := session.SampledSkip(); skip.ChunksSkipped+skip.ChunksDecoded > 0 {
+		fmt.Printf("codec skip: %.1f%% of recorded accesses never materialized (%d chunks skipped whole, %d decoded)\n",
+			100*skip.SkipRatio(), skip.ChunksSkipped, skip.ChunksDecoded)
+	}
 	return nil
 }
 
@@ -557,6 +596,7 @@ func runSampledSweep(o *options, w io.Writer) error {
 		Date:       time.Now().Format("2006-01-02"),
 		Scale:      o.scale,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SampleK:    k,
 	}
 	start := time.Now()
 	var sweep []exp.Datapoint
@@ -615,9 +655,13 @@ func runSampledSweep(o *options, w io.Writer) error {
 	record.Experiments = append(record.Experiments,
 		benchEntry{ID: "replay-sampled", Seconds: phases["sampled"]},
 		benchEntry{ID: "replay-full", Seconds: phases["replay"]})
+	skip := session.SampledSkip()
+	record.Skip = newSkipRecord(skip)
 	if phases["sampled"] > 0 {
 		fmt.Fprintf(os.Stderr, "graspsim: replay time for %d datapoints: sampled %.3fs vs full %.3fs (%.1fx)\n",
 			len(sweep), phases["sampled"], phases["replay"], phases["replay"]/phases["sampled"])
+		fmt.Fprintf(os.Stderr, "graspsim: codec skip: %.1f%% of recorded accesses never materialized (%d chunks skipped whole, %d decoded)\n",
+			100*skip.SkipRatio(), skip.ChunksSkipped, skip.ChunksDecoded)
 	}
 	return writeBenchRecord(o.benchJSON, record)
 }

@@ -246,6 +246,13 @@ type Session struct {
 	sampledRun atomic.Uint64 // distinct set-sampled estimates computed (fast-tier observability)
 	corunRun   atomic.Uint64 // distinct shared-LLC co-run replays computed (DESIGN.md Sec. 15)
 
+	// skipMu/skip accumulate the codec-layer skip accounting of this
+	// session's sampled replays (chunks skipped whole, records pruned in
+	// the decode loop); SampledSkip exposes it for the bench tooling's
+	// skip-ratio evidence alongside the process-wide trace.SkipStats.
+	skipMu sync.Mutex
+	skip   trace.SkipReport
+
 	// phase accumulates cumulative engine nanoseconds per prefetch phase
 	// (across workers, so a multi-core batch's phases can sum past
 	// wall-clock); PhaseSeconds exposes it for the bench tooling's

@@ -14,12 +14,33 @@ import (
 
 	"grasp/internal/apps"
 	"grasp/internal/sim"
+	"grasp/internal/trace"
 )
 
 // SampledRuns returns how many distinct set-sampled estimates the session
 // has computed (cache hits and merged requests do not count) — the
 // fast-tier twin of SimRuns, surfaced by graspd /metrics.
 func (s *Session) SampledRuns() uint64 { return s.sampledRun.Load() }
+
+// SampledSkip returns the accumulated codec-layer skip accounting of this
+// session's sampled replays: chunks skipped whole by the presence-bitmap
+// test, records pruned inside the decode loop, and what was actually
+// decoded and delivered (zero while the skip path is disabled). The bench
+// tooling records its SkipRatio next to the sampled phase times as the
+// decode-bound evidence.
+func (s *Session) SampledSkip() trace.SkipReport {
+	s.skipMu.Lock()
+	defer s.skipMu.Unlock()
+	return s.skip
+}
+
+// addSampledSkip folds one sampled replay's report into the session
+// accumulator.
+func (s *Session) addSampledSkip(rep trace.SkipReport) {
+	s.skipMu.Lock()
+	s.skip.Add(rep)
+	s.skipMu.Unlock()
+}
 
 // SampledResult is SampledResultCtx without cancellation.
 func (s *Session) SampledResult(dsName, reorderName, app string, layout apps.Layout, policy string, sampleK uint32) (sim.SampledResult, error) {
@@ -50,8 +71,12 @@ func (s *Session) SampledResultCtx(ctx context.Context, dsName, reorderName, app
 			err = s.withRecording(ctx, p.group(), false, func(rec recording) error {
 				start := time.Now()
 				var rerr error
-				r, rerr = sim.SampledReplayResultCtx(ctx, rec.tr, spec, w.Dataset.Name, rec.bounds, sampleK)
+				var rep trace.SkipReport
+				r, rep, rerr = sim.SampledReplayResultSkipCtx(ctx, rec.tr, spec, w.Dataset.Name, rec.bounds, sampleK)
 				s.phase.sampled.Add(int64(time.Since(start)))
+				if rerr == nil {
+					s.addSampledSkip(rep)
+				}
 				return rerr
 			})
 			if err != nil {

@@ -820,6 +820,12 @@ type Metrics struct {
 	// Together with SimRuns these expose whether multi-policy sweeps are
 	// actually riding the broadcast decoder.
 	BroadcastGroups, BroadcastReplays, BroadcastConsumers uint64
+	// Skip is the process-wide codec-layer skip accounting of masked
+	// (sampled) replays: chunks skipped whole via presence bitmaps vs
+	// decoded, their encoded bytes, and records skipped/pruned/delivered
+	// (DESIGN.md Sec. 14). Exposes whether the sampled tier is actually
+	// dodging decode work in production, not only in BENCH files.
+	Skip trace.SkipReport
 	// TraceBytesRetained is the total encoded bytes of recordings cached
 	// across all sessions (bounded per session by the trace budget).
 	TraceBytesRetained int64
@@ -846,6 +852,7 @@ func (m *Manager) Metrics() Metrics {
 		BroadcastGroups:    broadcastGroups,
 		BroadcastReplays:   broadcastReplays,
 		BroadcastConsumers: broadcastConsumers,
+		Skip:               trace.SkipStats(),
 		TraceBytesRetained: traceBytes,
 		Submitted:          m.submitted.Load(),
 		Executed:           m.executed.Load(),

@@ -9,6 +9,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"grasp/internal/cache"
@@ -16,6 +17,24 @@ import (
 	"grasp/internal/stats"
 	"grasp/internal/trace"
 )
+
+// sampledChunkSkip gates the codec-layer skip path (chunk presence
+// bitmaps + in-loop pruning, DESIGN.md Sec. 14) for sampled replays.
+// Default on; the equivalence suite forces it off to prove the skip path
+// changes nothing but the work done.
+var sampledChunkSkip atomic.Bool
+
+func init() { sampledChunkSkip.Store(true) }
+
+// SetSampledChunkSkip toggles the codec-layer skip path for sampled
+// replays process-wide and returns the previous setting. Off, the
+// sampled tier decodes every chunk fully and filters after decode —
+// PR 7's reference behavior.
+func SetSampledChunkSkip(on bool) bool { return sampledChunkSkip.Swap(on) }
+
+// SampledChunkSkip reports whether sampled replays use the codec-layer
+// skip path.
+func SampledChunkSkip() bool { return sampledChunkSkip.Load() }
 
 // SampledResult is the fast-tier counterpart of Result: exact L1/L2 stats
 // from the recording, observed LLC stats over the sampled sets only, and
@@ -55,11 +74,23 @@ func SampledReplayResult(tr *trace.Trace, spec Spec, workloadName string, abrArr
 // filter passes every access and SampledLLC equals a full replay's stats
 // bit for bit.
 func SampledReplayResultCtx(ctx context.Context, tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) (SampledResult, error) {
-	res, err := BroadcastSampledResultsCtx(ctx, tr, []Spec{spec}, workloadName, abrArrays, sampleK)
+	res, _, err := SampledReplayResultSkipCtx(ctx, tr, spec, workloadName, abrArrays, sampleK)
+	return res, err
+}
+
+// SampledReplayResultSkipCtx is SampledReplayResultCtx returning the
+// codec-layer SkipReport alongside the estimate. The skip accounting
+// lives OUTSIDE SampledResult deliberately: the estimate is a pure
+// function of (trace, spec, K) however the decode was planned — a solo
+// replay masks only its own sampled sets while a fan-out masks the union
+// — so results stay comparable across paths while the work saved is
+// reported per run.
+func SampledReplayResultSkipCtx(ctx context.Context, tr *trace.Trace, spec Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) (SampledResult, trace.SkipReport, error) {
+	res, rep, err := BroadcastSampledResultsSkipCtx(ctx, tr, []Spec{spec}, workloadName, abrArrays, sampleK)
 	if err != nil {
-		return SampledResult{}, err
+		return SampledResult{}, rep, err
 	}
-	return res[0], nil
+	return res[0], rep, nil
 }
 
 // BroadcastSampledResultsCtx fans ONE decode pass of the recording out to
@@ -68,29 +99,57 @@ func SampledReplayResultCtx(ctx context.Context, tr *trace.Trace, spec Spec, wor
 // spec's filter derives its own set selection from its own LLC geometry,
 // so specs may differ in policy and geometry alike.
 func BroadcastSampledResultsCtx(ctx context.Context, tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) ([]SampledResult, error) {
+	res, _, err := BroadcastSampledResultsSkipCtx(ctx, tr, specs, workloadName, abrArrays, sampleK)
+	return res, err
+}
+
+// BroadcastSampledResultsSkipCtx is BroadcastSampledResultsCtx returning
+// the codec-layer SkipReport alongside the results. It is the sampled
+// decode planner: it intersects every consumer's sampled-set selection
+// with the trace once per broadcast — each spec's selection, derived
+// from its own LLC geometry, projects onto the presence buckets via
+// trace.SampledSetsMask and the union drives the masked fan-out — so
+// chunks no consumer samples skip decode entirely and non-sampled
+// records prune inside the decode loop. Each SetFilter still applies its
+// exact per-set test to what survives, so a spec whose geometry samples
+// fewer buckets than the union sees identical results to a dedicated
+// replay. With the skip path disabled (SetSampledChunkSkip(false)) the
+// fan-out decodes every chunk and the report is zero — PR 7's reference
+// path, which the equivalence suite pins against this one bit for bit.
+func BroadcastSampledResultsSkipCtx(ctx context.Context, tr *trace.Trace, specs []Spec, workloadName string, abrArrays [][2]uint64, sampleK uint32) ([]SampledResult, trace.SkipReport, error) {
+	var rep trace.SkipReport
 	if sampleK == 0 {
-		return nil, fmt.Errorf("sim: sample divisor must be >= 1, got 0")
+		return nil, rep, fmt.Errorf("sim: sample divisor must be >= 1, got 0")
 	}
 	filters := make([]*trace.SetFilter, len(specs))
 	consumers := make([]func([]mem.Access), len(specs))
+	var mask trace.PresenceMask
 	for i, spec := range specs {
 		pinfo, err := PolicyByName(spec.Policy)
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 		llc, err := NewReplayLLC(spec.HCfg.LLC, pinfo, abrArrays)
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
-		f, err := trace.NewSetFilter(llc, trace.SampledSets(llc.NumSets(), sampleK))
+		sampled := trace.SampledSets(llc.NumSets(), sampleK)
+		f, err := trace.NewSetFilter(llc, sampled)
 		if err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 		filters[i] = f
 		consumers[i] = f.Consume
+		mask.Or(trace.SampledSetsMask(llc.NumSets(), sampled))
 	}
-	if err := tr.BroadcastNCtx(ctx, 0, consumers); err != nil {
-		return nil, err
+	if SampledChunkSkip() {
+		r, err := tr.BroadcastMaskedNCtx(ctx, 0, mask, consumers)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep = r
+	} else if err := tr.BroadcastNCtx(ctx, 0, consumers); err != nil {
+		return nil, rep, err
 	}
 	out := make([]SampledResult, len(specs))
 	for i, spec := range specs {
@@ -109,5 +168,5 @@ func BroadcastSampledResultsCtx(ctx context.Context, tr *trace.Trace, specs []Sp
 			AppTime:    tr.AppTime(),
 		}
 	}
-	return out, nil
+	return out, rep, nil
 }

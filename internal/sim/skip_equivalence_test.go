@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"grasp/internal/apps"
+	"grasp/internal/graph"
+	"grasp/internal/trace"
+)
+
+// TestChunkSkipEquivalence is the chunk-skip suite behind the codec-layer
+// fast path's honesty claim: for every registered policy on two high-skew
+// datasets at K in {4, 16, 64}, sampled results with skipping enabled
+// must be BIT-IDENTICAL to the decode-then-filter reference (the skip
+// path disabled — PR 7's behavior), and the forced mask-off run must
+// reconcile with the skip run's access accounting. The skip machinery may
+// only remove work, never change what any consumer observes.
+func TestChunkSkipEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skip-equivalence sweep skipped in -short mode")
+	}
+	// The toggle is process-global: run the suite serially and restore.
+	prev := SetSampledChunkSkip(true)
+	defer SetSampledChunkSkip(prev)
+
+	hcfg := accuracyTestHCfg()
+	for _, dsName := range []string{"lj", "tw"} {
+		ds, err := graph.DatasetByName(dsName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := PrepareWorkload(ds, "DBG", false, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := RecordTrace(w, "PR", apps.LayoutMerged, hcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Release()
+		bounds, err := ABRBoundsFor(w, "PR", apps.LayoutMerged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols := Policies()
+		specs := make([]Spec, len(pols))
+		for i, pinfo := range pols {
+			specs[i] = Spec{App: "PR", Layout: apps.LayoutMerged, Policy: pinfo.Name, HCfg: hcfg}
+		}
+		for _, k := range []uint32{4, 16, 64} {
+			SetSampledChunkSkip(true)
+			skip, rep, err := BroadcastSampledResultsSkipCtx(t.Context(), tr, specs, w.Dataset.Name, bounds, k)
+			if err != nil {
+				t.Fatalf("%s k=%d skip-on: %v", dsName, k, err)
+			}
+			SetSampledChunkSkip(false)
+			ref, refRep, err := BroadcastSampledResultsSkipCtx(t.Context(), tr, specs, w.Dataset.Name, bounds, k)
+			if err != nil {
+				t.Fatalf("%s k=%d skip-off: %v", dsName, k, err)
+			}
+			for i, pinfo := range pols {
+				if skip[i] != ref[i] {
+					t.Errorf("%s %s k=%d: skip-enabled result diverges from decode-then-filter reference:\n  skip: %+v\n  ref:  %+v",
+						dsName, pinfo.Name, k, skip[i], ref[i])
+				}
+			}
+			// Mask-off reconciliation: the reference run does no codec-layer
+			// work avoidance at all, and the skip run must account for every
+			// recorded access exactly once.
+			if refRep != (trace.SkipReport{}) {
+				t.Errorf("%s k=%d: mask-off run reported codec-layer skipping: %+v", dsName, k, refRep)
+			}
+			if total := rep.AccessesSkipped + rep.AccessesPruned + rep.AccessesDelivered; total != tr.Len() {
+				t.Errorf("%s k=%d: skip report accounts %d accesses, trace has %d", dsName, k, total, tr.Len())
+			}
+			if rep.AccessesPruned+rep.AccessesSkipped == 0 {
+				t.Errorf("%s k=%d: skip path avoided no work — masked decode not engaged", dsName, k)
+			}
+		}
+		// Solo (single-spec) masked replays must agree with their fan-out
+		// slots too: the solo mask covers only its own sampled sets, the
+		// union mask potentially more, and neither may change results.
+		SetSampledChunkSkip(true)
+		for i, pinfo := range pols {
+			solo, _, err := SampledReplayResultSkipCtx(t.Context(), tr, specs[i], w.Dataset.Name, bounds, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fan, err := BroadcastSampledResultsCtx(t.Context(), tr, specs, w.Dataset.Name, bounds, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if solo != fan[i] {
+				t.Errorf("%s %s: solo masked replay diverges from fan-out slot:\n  solo: %+v\n  fan:  %+v",
+					dsName, pinfo.Name, solo, fan[i])
+			}
+			break // one policy suffices; the loop above covered them all
+		}
+	}
+}

@@ -84,6 +84,32 @@ func (t *Trace) BroadcastN(limit int64, consumers []func(accs []mem.Access)) err
 // deadlock it. The first panic is reported as the fan-out's error, stack
 // attached.
 func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func(accs []mem.Access)) error {
+	return t.broadcastNCtx(ctx, limit, nil, consumers, nil)
+}
+
+// BroadcastMaskedNCtx is BroadcastNCtx restricted to records whose
+// block-address congruence class is in mask — the sampled tier's fan-out
+// (DESIGN.md Sec. 14). Chunks whose presence bitmap does not intersect
+// mask are skipped whole (no materialization, no pread for spilled
+// chunks, no decode); intersecting chunks decode with in-loop pruning,
+// so slabs carry only the masked residue and every consumer's filter
+// loop shrinks by the skip ratio. Consumers see exactly the subsequence
+// of accesses a full BroadcastNCtx would deliver whose class is masked,
+// in order — with sets <= PresenceBuckets that IS the sampled-set
+// subsequence. The per-run SkipReport is returned and, on success, added
+// to the process-wide SkipStats.
+func (t *Trace) BroadcastMaskedNCtx(ctx context.Context, limit int64, mask PresenceMask, consumers []func(accs []mem.Access)) (SkipReport, error) {
+	var rep SkipReport
+	err := t.broadcastNCtx(ctx, limit, &mask, consumers, &rep)
+	if err == nil {
+		countSkip(rep)
+	}
+	return rep, err
+}
+
+// broadcastNCtx is the shared producer/fan-out engine; mask == nil is the
+// full-fidelity path, mask != nil the sampled skip path (rep non-nil).
+func (t *Trace) broadcastNCtx(ctx context.Context, limit int64, mask *PresenceMask, consumers []func(accs []mem.Access), rep *SkipReport) error {
 	if t.destroyed.Load() {
 		return errReleased
 	}
@@ -133,7 +159,6 @@ func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func
 	ctxDone := ctx.Done()
 	var scratch []uint64
 	var buf []byte
-	var lastBlock uint64
 	var done int64
 	var err error
 	for ci := 0; ci < len(t.chunks) && done < limit; ci++ {
@@ -147,6 +172,18 @@ func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func
 				break
 			}
 		}
+		c := &t.chunks[ci]
+		// Whole-chunk skip: the presence bitmap proves no masked access
+		// inside. A chunk straddling the limit still decodes, so a bounded
+		// masked fan-out delivers exactly the masked subsequence of the
+		// first limit accesses.
+		if mask != nil && !c.bitmap.Intersects(*mask) && done+c.accs <= limit {
+			rep.ChunksSkipped++
+			rep.BytesSkipped += c.sizeBytes()
+			rep.AccessesSkipped += c.accs
+			done += c.accs
+			continue
+		}
 		if err = fail.Hit("trace.replay.chunk"); err != nil {
 			err = fmt.Errorf("trace: replay: %w", err)
 			break
@@ -157,7 +194,18 @@ func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func
 			break
 		}
 		s := <-free
-		s.accs, lastBlock, done = t.decodeAppend(words, s.accs[:0], lastBlock, done, limit)
+		if mask != nil {
+			s.accs, done = t.decodeAppendMasked(words, s.accs[:0], c.base, done, limit, *mask, rep)
+			rep.ChunksDecoded++
+			rep.BytesDecoded += c.sizeBytes()
+			if len(s.accs) == 0 {
+				// Everything pruned: nothing for consumers, recycle directly.
+				free <- s
+				continue
+			}
+		} else {
+			s.accs, done = t.decodeAppend(words, s.accs[:0], c.base, done, limit)
+		}
 		s.refs.Store(int32(n))
 		for _, ch := range chans {
 			ch <- s
@@ -178,11 +226,13 @@ func (t *Trace) BroadcastNCtx(ctx context.Context, limit int64, consumers []func
 }
 
 // decodeAppend decodes one chunk's words into dst, stopping once done
-// reaches limit, and returns the extended slice plus the block-delta and
-// progress state carried to the next chunk. Chunks never split an escape
-// pair (the recorder seals early), so a chunk always decodes completely
-// given only lastBlock.
-func (t *Trace) decodeAppend(words []uint64, dst []mem.Access, lastBlock uint64, done, limit int64) ([]mem.Access, uint64, int64) {
+// reaches limit, and returns the extended slice plus the progress count.
+// base is the chunk's self-contained block-delta seed (chunk.base), so a
+// chunk decodes in isolation; chunks never split an escape pair (the
+// recorder seals early), so the scan always terminates on a record
+// boundary.
+func (t *Trace) decodeAppend(words []uint64, dst []mem.Access, base uint64, done, limit int64) ([]mem.Access, int64) {
+	lastBlock := base
 	for i := 0; i < len(words) && done < limit; i++ {
 		w := words[i]
 		var block uint64
@@ -204,5 +254,46 @@ func (t *Trace) decodeAppend(words []uint64, dst []mem.Access, lastBlock uint64,
 		})
 		done++
 	}
-	return dst, lastBlock, done
+	return dst, done
+}
+
+// decodeAppendMasked is decodeAppend with in-loop pruning: every word is
+// still scanned (the delta chain demands it) but records whose block
+// congruence class is outside mask drop before the PC lookup and the
+// mem.Access materialization — the step that removes the decode share
+// from the sampled tier's Amdahl bound (DESIGN.md Sec. 14). rep accounts
+// pruned vs delivered records.
+func (t *Trace) decodeAppendMasked(words []uint64, dst []mem.Access, base uint64, done, limit int64, mask PresenceMask, rep *SkipReport) ([]mem.Access, int64) {
+	lastBlock := base
+	for i := 0; i < len(words) && done < limit; i++ {
+		w := words[i]
+		var block uint64
+		escape := (w>>pcShift)&pcMask == escapeIdx
+		if escape {
+			i++
+			block = words[i]
+		} else {
+			block = lastBlock + uint64(int64(w)>>deltaShift)
+		}
+		lastBlock = block
+		done++
+		if !mask.test(block) {
+			rep.AccessesPruned++
+			continue
+		}
+		var pc uint32
+		if escape {
+			pc = uint32(w >> deltaShift)
+		} else {
+			pc = t.pcs[(w>>pcShift)&pcMask]
+		}
+		rep.AccessesDelivered++
+		dst = append(dst, mem.Access{
+			Addr:     block<<cache.BlockBits | (w>>low6Shift)&low6Mask,
+			PC:       pc,
+			Write:    w&flagWrite != 0,
+			Property: w&flagProp != 0,
+		})
+	}
+	return dst, done
 }

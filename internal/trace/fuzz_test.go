@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"encoding/binary"
 	"testing"
 	"time"
@@ -65,6 +66,131 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			if got[i] != a {
 				t.Fatalf("access %d: got %+v, want %+v", i, got[i], a)
 			}
+		}
+	})
+}
+
+// FuzzChunkSkip drives the masked (chunk-skipping) replay with hostile
+// recordings across geometries: arbitrary bytes become an access stream
+// (13-byte records as in FuzzCodecRoundTrip; an input byte toggles the
+// spill layout, picks the set count and the sampling divisor), replayed
+// masked and reconciled against a reference filter over the full decode.
+// The conservative presence bitmap must NEVER skip a chunk containing a
+// sampled-set access — delivered accesses, their order, and the
+// skip/prune/deliver accounting must match the reference exactly for any
+// address pattern, including delta overflows, escape records straddling
+// seal-early boundaries, and addresses engineered to alias one bucket.
+func FuzzChunkSkip(f *testing.F) {
+	f.Add([]byte{})
+	// Seed one stream clustered in a single congruence class (whole-chunk
+	// skips for most masks), one striding every class with spill + a large
+	// divisor, and one hammering escape records.
+	cluster := make([]byte, 0, 13*64)
+	for i := 0; i < 64; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], 7<<6|uint64(i)<<14)
+		rec[12] = byte(i) & 3
+		cluster = append(cluster, rec[:]...)
+	}
+	f.Add(cluster)
+	stride := make([]byte, 0, 13*64)
+	for i := 0; i < 64; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)*64+uint64(i)<<41)
+		rec[12] = byte(i&3) | 4
+		stride = append(stride, rec[:]...)
+	}
+	f.Add(stride)
+	escapes := make([]byte, 0, 13*32)
+	for i := 0; i < 32; i++ {
+		var rec [13]byte
+		binary.LittleEndian.PutUint64(rec[:8], uint64(i)<<58|uint64(i)<<6)
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(i)*2654435761)
+		rec[12] = byte(i) & 7
+		escapes = append(escapes, rec[:]...)
+	}
+	f.Add(escapes)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const recSize = 13
+		n := len(data) / recSize
+		if n > 1<<14 {
+			n = 1 << 14
+		}
+		accs := make([]mem.Access, n)
+		for i := range accs {
+			rec := data[i*recSize:]
+			accs[i] = mem.Access{
+				Addr:     binary.LittleEndian.Uint64(rec[:8]),
+				PC:       binary.LittleEndian.Uint32(rec[8:12]),
+				Write:    rec[12]&1 != 0,
+				Property: rec[12]&2 != 0,
+			}
+		}
+		r := NewRawRecorder()
+		var sel byte
+		if n > 0 {
+			sel = data[0]
+		}
+		if sel&4 != 0 {
+			r.SetMemoryOverride(-1)
+		}
+		for _, a := range accs {
+			r.Record(a)
+		}
+		tr, err := r.Finish(time.Duration(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Release()
+		// Geometries from 2 sets (every class aliases heavily) up to 512
+		// (beyond PresenceBuckets, where the mask over-approximates).
+		sets := uint32(2) << (sel >> 6 * 3) // 2, 16, 128, 1024... capped below
+		if sets > 512 {
+			sets = 512
+		}
+		sampleK := uint32(1) << (sel >> 3 & 7) // 1..128
+		sampled := SampledSets(sets, sampleK)
+		mask := SampledSetsMask(sets, sampled)
+		inSample := make(map[uint32]bool)
+		for _, s := range sampled {
+			inSample[s] = true
+		}
+		// Reference: the masked subsequence of the raw stream. The mask can
+		// admit more than the sampled sets when sets > PresenceBuckets, so
+		// the reference applies the same mask — and separately asserts the
+		// mask never excludes a sampled-set block (the no-false-negative
+		// property skipping relies on).
+		var want []mem.Access
+		for _, a := range accs {
+			block := cache.BlockAddr(a.Addr)
+			if inSample[uint32(block&uint64(sets-1))] && !mask.test(block) {
+				t.Fatalf("block %#x maps to a sampled set but the mask excludes it", block)
+			}
+			if mask.test(block) {
+				want = append(want, a)
+			}
+		}
+		var got []mem.Access
+		rep, err := tr.ReplayMaskedNCtx(context.Background(), 0, mask, func(a mem.Access) {
+			got = append(got, a)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("masked replay delivered %d accesses, reference has %d (skipped %d chunks)",
+				len(got), len(want), rep.ChunksSkipped)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("access %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+		if rep.AccessesDelivered != int64(len(want)) {
+			t.Fatalf("report delivered %d, reference has %d", rep.AccessesDelivered, len(want))
+		}
+		if total := rep.AccessesSkipped + rep.AccessesPruned + rep.AccessesDelivered; total != tr.Len() {
+			t.Fatalf("report accounts %d accesses, trace has %d", total, tr.Len())
 		}
 	})
 }

@@ -24,56 +24,86 @@ import (
 // InterleaveStream pairs one recorded trace with its round-robin ratio
 // weight: the stream issues Weight accesses per turn of the interleave
 // (sim.Multicore's QuantumAccesses, per stream). Streams may share one
-// *Trace — each entry decodes through its own cursor.
+// *Trace — each entry decodes through its own cursor. A non-nil Mask
+// restricts the stream to records whose block congruence class is masked
+// (the sampled co-run form): the cursor skips chunks the presence bitmap
+// proves irrelevant and prunes in the decode loop, exactly like
+// BroadcastMaskedNCtx, while the round-robin rotation stays correct —
+// quanta are counted in DELIVERED accesses, so a stream that skips
+// chunks simply advances its decode position without disturbing the
+// merge order of what it does deliver.
 type InterleaveStream struct {
 	Trace  *Trace
 	Weight int
+	Mask   *PresenceMask
 }
 
 // interleaveCursor is one stream's private decode position: the next chunk
 // to materialize, the decoded accesses of the current chunk, and the
-// block-delta state carried across chunks. Cursors never share scratch
-// space, so two streams over the same spilled trace pread independently.
+// bounded-prefix progress. Chunks decode self-contained from their header
+// base, so a cursor that skips chunks needs no predecessor state. Cursors
+// never share scratch space, so two streams over the same spilled trace
+// pread independently.
 type interleaveCursor struct {
-	t         *Trace
-	ci        int          // next chunk index to decode
-	buf       []mem.Access // decoded accesses of the current chunk
-	pos       int          // next undelivered index in buf
-	lastBlock uint64
-	done      int64
-	limit     int64
-	dead      bool
-	scratch   []uint64
-	rbuf      []byte
+	t       *Trace
+	ci      int          // next chunk index to decode
+	buf     []mem.Access // decoded accesses of the current chunk
+	pos     int          // next undelivered index in buf
+	done    int64
+	limit   int64
+	dead    bool
+	mask    *PresenceMask
+	skip    *SkipReport
+	scratch []uint64
+	rbuf    []byte
 }
 
 // refill decodes the cursor's next chunk into buf, marking the cursor dead
-// when the stream (or its per-stream limit) is exhausted. The context is
-// checked here — once per chunk per stream, the same cancellation cadence
-// as ReplayNCtx.
+// when the stream (or its per-stream limit) is exhausted. A masked cursor
+// loops: chunks proven empty by their bitmap are skipped without decode,
+// and a chunk whose every record prunes yields an empty buf — neither
+// means the stream is dead, so the scan continues until something is
+// delivered or the stream truly ends. The context is checked here — once
+// per chunk per stream, the same cancellation cadence as ReplayNCtx.
 func (c *interleaveCursor) refill(ctx context.Context, ctxDone <-chan struct{}) error {
-	if c.done >= c.limit || c.ci >= len(c.t.chunks) {
-		c.dead = true
-		return nil
-	}
-	if ctxDone != nil {
-		select {
-		case <-ctxDone:
-			return ContextErr(ctx)
-		default:
+	for {
+		if c.done >= c.limit || c.ci >= len(c.t.chunks) {
+			c.dead = true
+			return nil
+		}
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return ContextErr(ctx)
+			default:
+			}
+		}
+		ch := &c.t.chunks[c.ci]
+		if c.mask != nil && !ch.bitmap.Intersects(*c.mask) && c.done+ch.accs <= c.limit {
+			c.skip.ChunksSkipped++
+			c.skip.BytesSkipped += ch.sizeBytes()
+			c.skip.AccessesSkipped += ch.accs
+			c.done += ch.accs
+			c.ci++
+			continue
+		}
+		words, err := c.t.materialize(c.ci, &c.scratch, &c.rbuf)
+		if err != nil {
+			return err
+		}
+		c.ci++
+		if c.mask != nil {
+			c.buf, c.done = c.t.decodeAppendMasked(words, c.buf[:0], ch.base, c.done, c.limit, *c.mask, c.skip)
+			c.skip.ChunksDecoded++
+			c.skip.BytesDecoded += ch.sizeBytes()
+		} else {
+			c.buf, c.done = c.t.decodeAppend(words, c.buf[:0], ch.base, c.done, c.limit)
+		}
+		c.pos = 0
+		if len(c.buf) > 0 {
+			return nil
 		}
 	}
-	words, err := c.t.materialize(c.ci, &c.scratch, &c.rbuf)
-	if err != nil {
-		return err
-	}
-	c.ci++
-	c.buf, c.lastBlock, c.done = c.t.decodeAppend(words, c.buf[:0], c.lastBlock, c.done, c.limit)
-	c.pos = 0
-	if len(c.buf) == 0 {
-		c.dead = true
-	}
-	return nil
 }
 
 // InterleaveReplay is InterleaveReplayCtx with a background context.
@@ -97,25 +127,39 @@ func InterleaveReplay(streams []InterleaveStream, limit int64, consume func(stre
 // must not retain them. consume runs on the calling goroutine; an
 // unsynchronized LLC simulation is a valid consumer.
 func InterleaveReplayCtx(ctx context.Context, streams []InterleaveStream, limit int64, consume func(stream int, accs []mem.Access)) error {
+	_, err := InterleaveReplayMaskedCtx(ctx, streams, limit, consume)
+	return err
+}
+
+// InterleaveReplayMaskedCtx is InterleaveReplayCtx returning the
+// aggregate SkipReport of the masked streams (zero when no stream
+// carries a Mask). On success the report is added to the process-wide
+// SkipStats, matching the broadcast and solo masked paths.
+func InterleaveReplayMaskedCtx(ctx context.Context, streams []InterleaveStream, limit int64, consume func(stream int, accs []mem.Access)) (SkipReport, error) {
+	var rep SkipReport
 	if len(streams) == 0 {
-		return fmt.Errorf("trace: interleave needs at least one stream")
+		return rep, fmt.Errorf("trace: interleave needs at least one stream")
 	}
+	masked := false
 	cursors := make([]interleaveCursor, len(streams))
 	for i, st := range streams {
 		if st.Trace == nil {
-			return fmt.Errorf("trace: interleave stream %d has no trace", i)
+			return rep, fmt.Errorf("trace: interleave stream %d has no trace", i)
 		}
 		if st.Weight <= 0 {
-			return fmt.Errorf("trace: interleave stream %d has weight %d, want >= 1", i, st.Weight)
+			return rep, fmt.Errorf("trace: interleave stream %d has weight %d, want >= 1", i, st.Weight)
 		}
 		if st.Trace.destroyed.Load() {
-			return errReleased
+			return rep, errReleased
 		}
 		lim := st.Trace.n
 		if limit > 0 && limit < lim {
 			lim = limit
 		}
-		cursors[i] = interleaveCursor{t: st.Trace, limit: lim, dead: lim == 0}
+		cursors[i] = interleaveCursor{t: st.Trace, limit: lim, dead: lim == 0, mask: st.Mask, skip: &rep}
+		if st.Mask != nil {
+			masked = true
+		}
 	}
 	ctxDone := ctx.Done()
 	alive := 0
@@ -134,7 +178,7 @@ func InterleaveReplayCtx(ctx context.Context, streams []InterleaveStream, limit 
 			for q > 0 {
 				if c.pos >= len(c.buf) {
 					if err := c.refill(ctx, ctxDone); err != nil {
-						return err
+						return rep, err
 					}
 					if c.dead {
 						alive--
@@ -151,5 +195,8 @@ func InterleaveReplayCtx(ctx context.Context, streams []InterleaveStream, limit 
 			}
 		}
 	}
-	return nil
+	if masked {
+		countSkip(rep)
+	}
+	return rep, nil
 }

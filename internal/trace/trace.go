@@ -144,12 +144,27 @@ func SetMemoryBudget(n int64) { memoryBudget.Store(n) }
 func MemoryInUse() int64 { return memoryInUse.Load() }
 
 // chunk is one segment of the encoded word stream: resident (words != nil)
-// or spilled (n words at byte offset off in the trace's spill file).
+// or spilled (n words at byte offset off in the trace's spill file), plus
+// the self-contained decode header stamped at seal time. The header makes
+// every chunk decodable in isolation — base is the block-delta state the
+// first record's delta applies to, so a consumer can start (or resume,
+// after skipping predecessors) at any chunk boundary without threading
+// lastBlock through the chunks before it — and carries the presence
+// bitmap plus the access count the skip planner needs to prove a chunk
+// irrelevant and still account for it. The header always stays resident;
+// only the words spill (DESIGN.md Sec. 11; traces are process-lifetime
+// only, so the header needs no on-disk form or version negotiation).
 type chunk struct {
-	words []uint64
-	off   int64
-	n     int
+	words  []uint64
+	off    int64
+	n      int          // word count (resident and spilled alike)
+	base   uint64       // lastBlock before the chunk's first record
+	accs   int64        // accesses encoded in the chunk
+	bitmap PresenceMask // block-address congruence classes present
 }
+
+// sizeBytes returns the chunk's encoded footprint.
+func (c *chunk) sizeBytes() uint64 { return uint64(c.n) * 8 }
 
 // Recorder encodes an LLC-bound access stream. Built with NewRecorder it
 // is a mem.Sink that filters every access through fresh L1/L2 upper levels
@@ -165,6 +180,9 @@ type Recorder struct {
 	cur       []uint64
 	chunks    []chunk
 	lastBlock uint64
+	curBase   uint64       // lastBlock when the current chunk opened
+	curAccs   int64        // accesses encoded into the current chunk
+	curBitmap PresenceMask // congruence classes seen in the current chunk
 	pcs       []uint32
 	pcIdx     map[uint32]uint16
 	lastPC    uint32
@@ -294,17 +312,27 @@ func (r *Recorder) Record(a mem.Access) {
 	} else {
 		r.push2(w|escapeIdx<<pcShift|uint64(a.PC)<<deltaShift, block)
 	}
+	// Stamp the chunk header the record landed in (push/push2 open a new
+	// chunk before appending, so cur is the right one).
+	r.curBitmap.set(block)
+	r.curAccs++
 	r.lastBlock = block
 	r.n++
 }
 
-// push appends one word, sealing the current chunk when full.
+// push appends one word, sealing the current chunk when full. A record
+// appended to an empty chunk opens it: the recorder's pre-record
+// lastBlock becomes the chunk's self-contained decode base (Record has
+// not updated it yet at this point).
 func (r *Recorder) push(w uint64) {
 	if len(r.cur) == chunkWords {
 		r.seal()
 	}
 	if r.cur == nil {
 		r.cur = make([]uint64, 0, chunkWords)
+	}
+	if len(r.cur) == 0 {
+		r.curBase = r.lastBlock
 	}
 	r.cur = append(r.cur, w)
 }
@@ -319,15 +347,22 @@ func (r *Recorder) push2(w0, w1 uint64) {
 	if r.cur == nil {
 		r.cur = make([]uint64, 0, chunkWords)
 	}
+	if len(r.cur) == 0 {
+		r.curBase = r.lastBlock
+	}
 	r.cur = append(r.cur, w0, w1)
 }
 
 // seal closes the current chunk: it stays resident if the budget allows,
-// otherwise it is appended to the spill file and its buffer reused.
+// otherwise it is appended to the spill file and its buffer reused. Either
+// way the chunk carries its self-contained header (decode base, access
+// count, presence bitmap), which always stays resident.
 func (r *Recorder) seal() {
 	if len(r.cur) == 0 {
 		return
 	}
+	hdr := chunk{n: len(r.cur), base: r.curBase, accs: r.curAccs, bitmap: r.curBitmap}
+	r.curAccs, r.curBitmap = 0, PresenceMask{}
 	bytes := int64(len(r.cur)) * 8
 	budget := r.budget
 	if budget == 0 {
@@ -336,7 +371,8 @@ func (r *Recorder) seal() {
 	if r.budget == 0 {
 		if memoryInUse.Add(bytes) <= budget {
 			r.ramBytes += bytes
-			r.chunks = append(r.chunks, chunk{words: r.cur})
+			hdr.words = r.cur
+			r.chunks = append(r.chunks, hdr)
 			r.cur = nil
 			return
 		}
@@ -344,17 +380,19 @@ func (r *Recorder) seal() {
 	} else if r.ramBytes+bytes <= budget {
 		memoryInUse.Add(bytes)
 		r.ramBytes += bytes
-		r.chunks = append(r.chunks, chunk{words: r.cur})
+		hdr.words = r.cur
+		r.chunks = append(r.chunks, hdr)
 		r.cur = nil
 		return
 	}
-	r.spillChunk()
+	r.spillChunk(hdr)
 }
 
 // spillChunk writes the current chunk to the spill file (created lazily
 // and unlinked immediately, so the space is reclaimed as soon as the last
-// descriptor closes even if the process dies).
-func (r *Recorder) spillChunk() {
+// descriptor closes even if the process dies). hdr carries the chunk's
+// self-contained header, which stays resident; only the words hit disk.
+func (r *Recorder) spillChunk(hdr chunk) {
 	if r.err != nil {
 		r.cur = r.cur[:0]
 		return
@@ -388,7 +426,8 @@ func (r *Recorder) spillChunk() {
 		r.cur = r.cur[:0]
 		return
 	}
-	r.chunks = append(r.chunks, chunk{off: r.spillOff, n: len(r.cur)})
+	hdr.off = r.spillOff
+	r.chunks = append(r.chunks, hdr)
 	r.spillOff += int64(len(buf))
 	r.cur = r.cur[:0]
 }
@@ -605,7 +644,6 @@ func (t *Trace) ReplayNCtx(ctx context.Context, llc *cache.Cache, limit int64) e
 	ctxDone := ctx.Done()
 	var scratch []uint64
 	var buf []byte
-	var lastBlock uint64
 	var done int64
 	for ci := range t.chunks {
 		if done >= limit {
@@ -625,6 +663,7 @@ func (t *Trace) ReplayNCtx(ctx context.Context, llc *cache.Cache, limit int64) e
 		if err != nil {
 			return err
 		}
+		lastBlock := t.chunks[ci].base
 		for i := 0; i < len(words) && done < limit; i++ {
 			w := words[i]
 			var block uint64
@@ -650,6 +689,100 @@ func (t *Trace) ReplayNCtx(ctx context.Context, llc *cache.Cache, limit int64) e
 	return nil
 }
 
+// ReplayMaskedNCtx decodes at most limit accesses (limit <= 0: all)
+// through consume, delivering ONLY records whose block-address congruence
+// class is in mask — the sampled fast path (DESIGN.md Sec. 14). Two
+// codec-layer savings stack: a chunk whose presence bitmap does not
+// intersect mask is skipped whole, without materialization (spilled
+// chunks save the pread) or decode; chunks that do intersect still scan
+// every word (the delta chain demands it) but prune non-masked records
+// before the PC lookup and mem.Access materialization. With sets <=
+// PresenceBuckets the mask test is exact, so consume sees precisely the
+// accesses a SetFilter over a full replay would keep, in the same order.
+// The returned SkipReport accounts both layers and, on success, is added
+// to the process-wide SkipStats.
+func (t *Trace) ReplayMaskedNCtx(ctx context.Context, limit int64, mask PresenceMask, consume func(a mem.Access)) (SkipReport, error) {
+	var rep SkipReport
+	if t.destroyed.Load() {
+		return rep, errReleased
+	}
+	if limit <= 0 || limit > t.n {
+		limit = t.n
+	}
+	ctxDone := ctx.Done()
+	var scratch []uint64
+	var buf []byte
+	var done int64
+	for ci := range t.chunks {
+		if done >= limit {
+			break
+		}
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return rep, ContextErr(ctx)
+			default:
+			}
+		}
+		c := &t.chunks[ci]
+		// Whole-chunk skip: provably no masked access inside. A chunk that
+		// straddles the limit still decodes, so a bounded masked replay
+		// sees exactly the sampled subset of the first limit accesses.
+		if !c.bitmap.Intersects(mask) && done+c.accs <= limit {
+			rep.ChunksSkipped++
+			rep.BytesSkipped += c.sizeBytes()
+			rep.AccessesSkipped += c.accs
+			done += c.accs
+			continue
+		}
+		if err := fail.Hit("trace.replay.chunk"); err != nil {
+			return rep, fmt.Errorf("trace: replay: %w", err)
+		}
+		words, err := t.materialize(ci, &scratch, &buf)
+		if err != nil {
+			return rep, err
+		}
+		rep.ChunksDecoded++
+		rep.BytesDecoded += c.sizeBytes()
+		lastBlock := c.base
+		for i := 0; i < len(words) && done < limit; i++ {
+			w := words[i]
+			var block uint64
+			escape := (w>>pcShift)&pcMask == escapeIdx
+			if escape {
+				i++
+				block = words[i]
+			} else {
+				block = lastBlock + uint64(int64(w)>>deltaShift)
+			}
+			lastBlock = block
+			done++
+			// Prune before the PC lookup and materialization: this in-loop
+			// test, not the chunk skip, is what removes the decode share
+			// from the sampled tier's Amdahl bound.
+			if !mask.test(block) {
+				rep.AccessesPruned++
+				continue
+			}
+			var pc uint32
+			if escape {
+				pc = uint32(w >> deltaShift)
+			} else {
+				pc = t.pcs[(w>>pcShift)&pcMask]
+			}
+			rep.AccessesDelivered++
+			consume(mem.Access{
+				Addr:     block<<cache.BlockBits | (w>>low6Shift)&low6Mask,
+				PC:       pc,
+				Write:    w&flagWrite != 0,
+				Property: w&flagProp != 0,
+			})
+		}
+	}
+	countSkip(rep)
+	return rep, nil
+}
+
 // each decodes at most limit accesses (limit <= 0: all) through fn — the
 // cold-path twin of ReplayN for extraction helpers and tests.
 func (t *Trace) each(limit int64, fn func(a mem.Access)) error {
@@ -661,7 +794,6 @@ func (t *Trace) each(limit int64, fn func(a mem.Access)) error {
 	}
 	var scratch []uint64
 	var buf []byte
-	var lastBlock uint64
 	var done int64
 	for ci := range t.chunks {
 		if done >= limit {
@@ -671,6 +803,7 @@ func (t *Trace) each(limit int64, fn func(a mem.Access)) error {
 		if err != nil {
 			return err
 		}
+		lastBlock := t.chunks[ci].base
 		for i := 0; i < len(words) && done < limit; i++ {
 			w := words[i]
 			var block uint64

@@ -45,13 +45,21 @@ go build ./...
 echo "running full experiment sweep at 1/$scale scale..." >&2
 go run ./cmd/graspsim -exp all -scale "$scale" -bench-json "$out" > /dev/null
 
-# Sampled fast tier on the fig2 sweep: the run records a replay-sampled
-# vs replay-full phase pair in the snapshot, so the fast tier's real
-# speedup (bounded by decode share — DESIGN.md Sec. 14) is tracked per
-# release instead of assumed.
+# Sampled fast tier on the fig2 sweep: each run records a replay-sampled
+# vs replay-full phase pair plus its sample_k and codec-layer skip ratio
+# in the snapshot, so the fast tier's real speedup (past the decode bound
+# via chunk skipping + masked decode — DESIGN.md Sec. 14) is tracked per
+# release and per divisor instead of assumed. <out>-sampled.json holds
+# the default-K run (benchcmp-compatible with pre-PR-9 snapshots);
+# <out>-sampled-k{4,16,64}.json hold the K sweep.
 echo "running sampled-tier fig2 sweep at 1/$scale scale..." >&2
 go run ./cmd/graspsim -exp fig2 -scale "$scale" -fidelity sampled \
     -bench-json "$sampled_out" > /dev/null
+for k in 4 16 64; do
+    echo "running sampled-tier fig2 sweep at 1/$scale scale, K=$k..." >&2
+    go run ./cmd/graspsim -exp fig2 -scale "$scale" -fidelity sampled \
+        -sample-k "$k" -bench-json "${sampled_out%.json}-k$k.json" > /dev/null
+done
 
 # Co-run fairness sweep: the interleaved shared-LLC replays land in a
 # `corun` phase entry (DESIGN.md Sec. 15), so the multi-programmed
@@ -63,4 +71,4 @@ go run ./cmd/graspsim -exp corun -scale "$scale" \
 # Hot-path micro smoke (not recorded; printed for the log).
 go test -run '^$' -bench 'PolicyGRASP$|PageRankSimulated$' -benchtime=1x .
 
-echo "wrote $out, $sampled_out and $corun_out" >&2
+echo "wrote $out, $sampled_out (+ K-sweep variants) and $corun_out" >&2
