@@ -25,6 +25,18 @@
 // liveness/readiness split), new submissions are rejected, running
 // simulations finish (up to -drain-timeout, then they are preempted at
 // the next cancellation point), and the process exits.
+//
+// Several daemons form a fault-tolerant cluster with -node-id and -peers
+// (DESIGN.md Sec. 16): every job hash is owned by one node on a
+// consistent-hash ring, submissions forward to the owner (failing over to
+// its successor when the owner is down), completed results replicate to
+// the successor, and GET /results federates misses from replica holders
+// with checksum-verified fetches. Every node gets the SAME -peers list:
+//
+//	graspd -node-id a -peers a=http://host-a:8337,b=http://host-b:8337,c=http://host-c:8337
+//
+// Without -peers the daemon is the exact single-node service above —
+// byte-identical responses, no cluster endpoints.
 package main
 
 import (
@@ -37,9 +49,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/graph"
 	"grasp/internal/jobs"
 	"grasp/internal/server"
@@ -64,6 +78,14 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 10, "rate-limit token-bucket burst depth")
 	journal := flag.Bool("journal", true,
 		"journal accepted jobs (fsync'd) so a crashed daemon re-enqueues its backlog on reboot")
+	nodeID := flag.String("node-id", "",
+		"this node's name in -peers (cluster mode; requires -peers)")
+	peers := flag.String("peers", "",
+		"static cluster member list as id=url,id=url,... (same list on every node); empty = single-node mode")
+	probeInterval := flag.Duration("probe-interval", time.Second,
+		"cluster health-probe period (peers are down after 3 consecutive failures)")
+	hedge := flag.Duration("hedge", 150*time.Millisecond,
+		"latency budget a federated result read gives the first replica before asking the next")
 	flag.Parse()
 
 	if *graphCacheMB != 0 {
@@ -75,11 +97,34 @@ func main() {
 		sessionBudget: *graphCacheMB << 20, traceBudget: *traceCacheMB << 20,
 		jobTimeout: *jobTimeout, maxQueue: *maxQueue,
 		rate: *rate, rateBurst: *rateBurst, journal: *journal,
+		nodeID: *nodeID, peers: *peers,
+		probeInterval: *probeInterval, hedge: *hedge,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "graspd:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses the -peers list ("a=http://host:8337,b=...") into
+// cluster members. Bare addresses without a scheme get "http://".
+func parsePeers(s string) ([]cluster.Peer, error) {
+	var out []cluster.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q is not id=url", part)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		out = append(out, cluster.Peer{ID: strings.TrimSpace(id), Addr: strings.TrimRight(addr, "/")})
+	}
+	return out, nil
 }
 
 // daemonConfig carries the parsed flags into run.
@@ -95,6 +140,10 @@ type daemonConfig struct {
 	rate          float64
 	rateBurst     int
 	journal       bool
+	nodeID        string
+	peers         string
+	probeInterval time.Duration
+	hedge         time.Duration
 }
 
 // run boots the store, journal (recovering the previous process's
@@ -128,10 +177,34 @@ func run(cfg daemonConfig) error {
 			log.Printf("graspd: crash recovery re-enqueued %d journaled job(s)", n)
 		}
 	}
-	srv := &http.Server{Addr: cfg.addr, Handler: server.NewWith(mgr, server.Options{
+	opts := server.Options{
 		RatePerSec: cfg.rate,
 		Burst:      cfg.rateBurst,
-	})}
+		HedgeDelay: cfg.hedge,
+	}
+	if cfg.peers != "" || cfg.nodeID != "" {
+		if cfg.peers == "" || cfg.nodeID == "" {
+			return errors.New("cluster mode needs both -node-id and -peers")
+		}
+		members, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:          cfg.nodeID,
+			Peers:         members,
+			ProbeInterval: cfg.probeInterval,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Cluster = cl
+		defer cl.Stop() // enableCluster starts the prober
+		log.Printf("graspd: cluster node %q among %d peers (RF=%d)",
+			cfg.nodeID, len(members), cl.ReplicationFactor())
+	}
+	handler := server.NewWith(mgr, opts)
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

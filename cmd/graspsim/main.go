@@ -128,7 +128,7 @@ func newFlags() (*flag.FlagSet, *options) {
 	fs.StringVar(&o.corunRatio, "corun-ratio", "",
 		"-corun mode: comma-separated round-robin weights, one per app incl. -app itself (default uniform)")
 	fs.StringVar(&o.remote, "remote", "",
-		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally")
+		"send the work to the graspd daemon at this address (host:port or URL) instead of simulating locally; a comma-separated list names a cluster and rotates to the next node on 5xx or transport errors")
 	fs.IntVar(&o.priority, "priority", 0, "-remote mode: job priority (higher runs first)")
 	fs.DurationVar(&o.timeout, "timeout", 0,
 		"-remote mode: per-job wall-clock budget (e.g. 10m); the daemon cancels the job beyond it. 0 = server default")

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"grasp/internal/fail"
+)
+
+// NodeState is a peer's health as seen by the local prober.
+type NodeState string
+
+// Peer health states. The transitions are driven purely by consecutive
+// probe results: any success makes a peer Up; failures degrade it to
+// Suspect after the first and Down after DownAfter in a row. Suspect
+// peers are still routed to (one lost probe is usually a blip, and
+// content addressing makes a wasted forward harmless); Down peers are
+// skipped so submissions fail over to the successor without waiting out
+// a connect timeout per request.
+const (
+	// StateUp: the last probe succeeded.
+	StateUp NodeState = "up"
+	// StateSuspect: at least one probe failed, but fewer than DownAfter in
+	// a row — the peer is still tried for routing.
+	StateSuspect NodeState = "suspect"
+	// StateDown: DownAfter or more consecutive probes failed — routing
+	// skips the peer until a probe succeeds again.
+	StateDown NodeState = "down"
+)
+
+// Peer is one statically configured cluster member.
+type Peer struct {
+	// ID is the node's stable name (-node-id); ring positions derive from
+	// it, so renaming a node remaps its keys while readdressing does not.
+	ID string `json:"id"`
+	// Addr is the node's base URL, e.g. "http://10.0.0.7:8337".
+	Addr string `json:"addr"`
+}
+
+// Config describes the local node's view of the cluster.
+type Config struct {
+	// Self is the local node's ID; it must name an entry of Peers.
+	Self string
+	// Peers is the full static member list, including the local node.
+	Peers []Peer
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 2s).
+	ProbeTimeout time.Duration
+	// DownAfter is how many consecutive probe failures demote a peer from
+	// suspect to down (default 3).
+	DownAfter int
+	// ReplicationFactor is how many nodes hold each completed result:
+	// the owner plus RF-1 successors (default 2, clamped to the peer
+	// count).
+	ReplicationFactor int
+}
+
+// Status is one peer's membership snapshot, JSON-ready for the /cluster
+// endpoint.
+type Status struct {
+	// Peer identifies the member.
+	Peer
+	// Self marks the local node (never probed).
+	Self bool `json:"self,omitempty"`
+	// State is the local prober's current verdict.
+	State NodeState `json:"state"`
+	// Failures is the consecutive probe-failure count behind State.
+	Failures int `json:"failures,omitempty"`
+}
+
+// Cluster is the local node's membership view: the static ring plus the
+// probed health of every peer. Safe for concurrent use; Start launches
+// the prober and Stop tears it down.
+type Cluster struct {
+	self Peer
+	ring *ring
+	rf   int
+
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	downAfter    int
+	client       *http.Client
+
+	mu       sync.Mutex
+	failures map[string]int // peer ID → consecutive probe failures
+	stop     chan struct{}
+	stopped  sync.WaitGroup
+}
+
+// New validates the configuration and builds the cluster view. The ring
+// is fixed for the process lifetime — membership changes are a restart
+// with a new -peers list, which the content-addressed store makes cheap
+// (moved keys re-execute or cache-fill; nothing is lost).
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 2
+	}
+	if cfg.ReplicationFactor > len(cfg.Peers) {
+		cfg.ReplicationFactor = len(cfg.Peers)
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	var self *Peer
+	for i, p := range cfg.Peers {
+		if p.ID == "" || p.Addr == "" {
+			return nil, fmt.Errorf("cluster: peer %d has empty id or addr", i)
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.ID == cfg.Self {
+			self = &cfg.Peers[i]
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: -node-id %q is not in the peer list", cfg.Self)
+	}
+	c := &Cluster{
+		self:         *self,
+		ring:         newRing(cfg.Peers),
+		rf:           cfg.ReplicationFactor,
+		probeEvery:   cfg.ProbeInterval,
+		probeTimeout: cfg.ProbeTimeout,
+		downAfter:    cfg.DownAfter,
+		failures:     make(map[string]int),
+		stop:         make(chan struct{}),
+	}
+	c.client = &http.Client{Timeout: cfg.ProbeTimeout}
+	return c, nil
+}
+
+// Self returns the local node's peer entry.
+func (c *Cluster) Self() Peer { return c.self }
+
+// ReplicationFactor returns how many nodes hold each completed result.
+func (c *Cluster) ReplicationFactor() int { return c.rf }
+
+// Peers returns the full static member list in ID order.
+func (c *Cluster) Peers() []Peer {
+	out := append([]Peer(nil), c.ring.peers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Owners returns the first n distinct peers on the ring for a job hash:
+// index 0 is the owner, 1 the replication successor, and so on,
+// REGARDLESS of health — callers that route skip Down entries themselves
+// (Candidates does it for them), while replication must know the ideal
+// placement even when a holder is temporarily down.
+func (c *Cluster) Owners(hash string, n int) []Peer { return c.ring.owners(hash, n) }
+
+// Candidates returns the routing order for a job hash: the owner and its
+// successors with Down peers filtered out. The local node is never
+// filtered (we cannot be partitioned from ourselves). An empty result
+// means every replica holder is down — callers fall back to local
+// execution, which content addressing makes safe.
+func (c *Cluster) Candidates(hash string, n int) []Peer {
+	var out []Peer
+	for _, p := range c.ring.owners(hash, n) {
+		if p.ID == c.self.ID || c.State(p.ID) != StateDown {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// State returns the local prober's verdict on one peer. The local node
+// is always Up.
+func (c *Cluster) State(id string) NodeState {
+	if id == c.self.ID {
+		return StateUp
+	}
+	c.mu.Lock()
+	n := c.failures[id]
+	c.mu.Unlock()
+	switch {
+	case n == 0:
+		return StateUp
+	case n < c.downAfter:
+		return StateSuspect
+	}
+	return StateDown
+}
+
+// Snapshot returns every member's status in ID order (the /cluster
+// endpoint's body).
+func (c *Cluster) Snapshot() []Status {
+	peers := c.Peers()
+	out := make([]Status, 0, len(peers))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range peers {
+		st := Status{Peer: p, Self: p.ID == c.self.ID, Failures: c.failures[p.ID]}
+		switch {
+		case st.Self || st.Failures == 0:
+			st.State = StateUp
+		case st.Failures < c.downAfter:
+			st.State = StateSuspect
+		default:
+			st.State = StateDown
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// ReportFailure feeds a routing-layer failure (a forward or fetch that
+// died on a transport error) into the health view, as if a probe had
+// failed. Request traffic notices a dead peer faster than the probe
+// period; folding it in makes the next request skip the peer instead of
+// re-discovering the same timeout.
+func (c *Cluster) ReportFailure(id string) {
+	if id == c.self.ID {
+		return
+	}
+	c.mu.Lock()
+	c.failures[id]++
+	c.mu.Unlock()
+}
+
+// ReportSuccess feeds a successful round trip into the health view: any
+// completed exchange proves the peer reachable, resetting it to Up.
+func (c *Cluster) ReportSuccess(id string) {
+	c.mu.Lock()
+	delete(c.failures, id)
+	c.mu.Unlock()
+}
+
+// Start launches the background prober. Call Stop to halt it.
+func (c *Cluster) Start() {
+	c.stopped.Add(1)
+	go func() {
+		defer c.stopped.Done()
+		t := time.NewTicker(c.probeEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop halts the prober and waits for it to exit.
+func (c *Cluster) Stop() {
+	close(c.stop)
+	c.stopped.Wait()
+}
+
+// probeAll probes every remote peer once, concurrently — a hung peer must
+// not delay the verdict on the others past the probe timeout.
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range c.ring.peers {
+		if p.ID == c.self.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			if c.probe(p) {
+				c.ReportSuccess(p.ID)
+			} else {
+				c.ReportFailure(p.ID)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe asks one peer's /readyz whether it should receive traffic: a
+// draining or overloaded node answers 503 and is treated exactly like an
+// unreachable one, so routing fails over from it. The cluster.probe
+// failpoints (generic and per-peer "cluster.probe.<id>") let the chaos
+// suite inject a partition without touching the network.
+func (c *Cluster) probe(p Peer) bool {
+	if fail.Hit("cluster.probe") != nil || fail.Hit("cluster.probe."+p.ID) != nil {
+		return false
+	}
+	resp, err := c.client.Get(strings.TrimRight(p.Addr, "/") + "/readyz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

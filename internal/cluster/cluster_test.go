@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"grasp/internal/fail"
+)
+
+// twoNodeConfig builds a config for self "a" with one probed peer "b" at
+// addr.
+func twoNodeConfig(addr string) Config {
+	return Config{
+		Self: "a",
+		Peers: []Peer{
+			{ID: "a", Addr: "http://localhost:0"},
+			{ID: "b", Addr: addr},
+		},
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		DownAfter:     3,
+	}
+}
+
+// TestConfigValidation covers New's rejection surface.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Self: "a"}); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := New(Config{Self: "x", Peers: []Peer{{ID: "a", Addr: "u"}}}); err == nil {
+		t.Error("self missing from peer list accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a", Addr: "u"}, {ID: "a", Addr: "v"}}}); err == nil {
+		t.Error("duplicate peer id accepted")
+	}
+	if _, err := New(Config{Self: "a", Peers: []Peer{{ID: "a"}}}); err == nil {
+		t.Error("empty peer addr accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: []Peer{{ID: "a", Addr: "u"}, {ID: "b", Addr: "v"}},
+		ReplicationFactor: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReplicationFactor() != 2 {
+		t.Errorf("RF clamped to %d, want 2 (peer count)", c.ReplicationFactor())
+	}
+}
+
+// TestProbeStateMachine drives a peer through up → suspect → down as its
+// /readyz stops answering, then back to up when it recovers.
+func TestProbeStateMachine(t *testing.T) {
+	healthy := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			t.Errorf("probe hit %s, want /readyz", r.URL.Path)
+		}
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c, err := New(twoNodeConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive probes synchronously — the background prober exists for the
+	// daemon; the state machine is what is under test.
+	c.probeAll()
+	if got := c.State("b"); got != StateUp {
+		t.Fatalf("after healthy probe: %s, want up", got)
+	}
+
+	healthy = false
+	c.probeAll()
+	if got := c.State("b"); got != StateSuspect {
+		t.Fatalf("after 1 failed probe: %s, want suspect", got)
+	}
+	c.probeAll()
+	c.probeAll()
+	if got := c.State("b"); got != StateDown {
+		t.Fatalf("after 3 failed probes: %s, want down", got)
+	}
+
+	healthy = true
+	c.probeAll()
+	if got := c.State("b"); got != StateUp {
+		t.Fatalf("after recovery probe: %s, want up", got)
+	}
+}
+
+// TestProbeFailpointInjectsPartition: arming cluster.probe.<id> partitions
+// that peer without touching the network, and Candidates routes around it
+// while Owners still names it (replication must know ideal placement).
+func TestProbeFailpointInjectsPartition(t *testing.T) {
+	defer fail.Reset()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c, err := New(twoNodeConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail.Arm("cluster.probe.b", nil)
+	for i := 0; i < 3; i++ {
+		c.probeAll()
+	}
+	if got := c.State("b"); got != StateDown {
+		t.Fatalf("with cluster.probe.b armed: %s, want down", got)
+	}
+	// Find a hash owned by b; Candidates must route it to a instead.
+	var h string
+	for i := 0; ; i++ {
+		h = jobHash(i)
+		if c.Owners(h, 1)[0].ID == "b" {
+			break
+		}
+	}
+	cand := c.Candidates(h, 2)
+	if len(cand) != 1 || cand[0].ID != "a" {
+		t.Errorf("candidates with b down = %v, want just a", cand)
+	}
+	if owners := c.Owners(h, 2); owners[0].ID != "b" {
+		t.Errorf("Owners must ignore health; got %v", owners)
+	}
+
+	fail.Reset()
+	c.probeAll()
+	if got := c.State("b"); got != StateUp {
+		t.Fatalf("after heal: %s, want up", got)
+	}
+}
+
+// TestReportFailureFeedsHealth: routing-layer failures degrade a peer
+// without waiting for the prober, and one success heals it.
+func TestReportFailureFeedsHealth(t *testing.T) {
+	c, err := New(twoNodeConfig("http://localhost:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.ReportFailure("b")
+	}
+	if got := c.State("b"); got != StateDown {
+		t.Fatalf("after 3 reported failures: %s, want down", got)
+	}
+	c.ReportSuccess("b")
+	if got := c.State("b"); got != StateUp {
+		t.Fatalf("after reported success: %s, want up", got)
+	}
+	// Self never degrades.
+	c.ReportFailure("a")
+	if got := c.State("a"); got != StateUp {
+		t.Fatalf("self state %s, want up", got)
+	}
+}
+
+// TestSnapshotStates: the /cluster body carries every member with its
+// state, self marked.
+func TestSnapshotStates(t *testing.T) {
+	c, err := New(twoNodeConfig("http://localhost:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ReportFailure("b")
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d members, want 2", len(snap))
+	}
+	if !snap[0].Self || snap[0].ID != "a" || snap[0].State != StateUp {
+		t.Errorf("self entry wrong: %+v", snap[0])
+	}
+	if snap[1].ID != "b" || snap[1].State != StateSuspect || snap[1].Failures != 1 {
+		t.Errorf("peer entry wrong: %+v", snap[1])
+	}
+}
+
+// TestStartStopProber: the background prober runs and halts cleanly
+// (exercised under -race in CI).
+func TestStartStopProber(t *testing.T) {
+	probes := make(chan struct{}, 64)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case probes <- struct{}{}:
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c, err := New(twoNodeConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	select {
+	case <-probes:
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober never probed")
+	}
+	c.Stop()
+	if got := c.State("b"); got != StateUp {
+		t.Errorf("probed healthy peer is %s, want up", got)
+	}
+}

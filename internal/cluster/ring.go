@@ -1,0 +1,113 @@
+// Package cluster is graspd's peer membership and job-routing layer
+// (DESIGN.md Sec. 16): a static peer list probed over HTTP into an
+// up/suspect/down state machine, and a consistent-hash ring over the job
+// content address that names, for every job, the node that owns its
+// execution and the successor that replicates its result. The package is
+// pure routing state — the HTTP forwarding, replication and hedged reads
+// that act on it live in internal/server, so cluster stays free of the
+// jobs/server dependency cycle and testable without a daemon.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerPeer is how many virtual points each peer contributes to the
+// ring. 64 keeps the ownership split within a few percent of uniform for
+// single-digit cluster sizes while the whole ring stays a few KB.
+const vnodesPerPeer = 64
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// index of the peer that owns it.
+type ringPoint struct {
+	pos  uint64
+	peer int
+}
+
+// ring is an immutable consistent-hash ring over a fixed peer list.
+// Lookup walks clockwise from the key's position, so removing a node
+// (skipping it as down) moves only that node's keys to their successors —
+// the property that makes failover routing stable under partial failure.
+type ring struct {
+	points []ringPoint
+	peers  []Peer
+}
+
+// newRing places every peer's virtual nodes on the circle. The peer list
+// order does not matter: positions derive from peer IDs alone, so every
+// node in the cluster computes the identical ring from the identical
+// -peers set regardless of spelling order.
+func newRing(peers []Peer) *ring {
+	r := &ring{peers: peers}
+	r.points = make([]ringPoint, 0, len(peers)*vnodesPerPeer)
+	for i, p := range peers {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.points = append(r.points, ringPoint{
+				pos:  hashPos(p.ID + "#" + strconv.Itoa(v)),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Ties (astronomically rare) break by peer ID so every node still
+		// agrees on the walk order.
+		return r.peers[r.points[a].peer].ID < r.peers[r.points[b].peer].ID
+	})
+	return r
+}
+
+// hashPos maps an arbitrary string to a ring position.
+func hashPos(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyPos maps a job content address to its ring position. Job hashes are
+// already uniform SHA-256 hex, so the first 16 hex digits are the
+// position; anything else (malformed input reaching the router) is
+// re-hashed rather than rejected, because routing must be total.
+func keyPos(hash string) uint64 {
+	if len(hash) >= 16 {
+		if v, err := strconv.ParseUint(hash[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	return hashPos(hash)
+}
+
+// owners returns the first n DISTINCT peers clockwise from the key's
+// position: owners(h, 1)[0] is the owning node, owners(h, 2)[1] the
+// replication successor, and so on. n is clamped to the peer count.
+func (r *ring) owners(hash string, n int) []Peer {
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	pos := keyPos(hash)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	out := make([]Peer, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if seen[pt.peer] {
+			continue
+		}
+		seen[pt.peer] = true
+		out = append(out, r.peers[pt.peer])
+	}
+	return out
+}
+
+// String renders the ring's peer set for logs.
+func (r *ring) String() string {
+	return fmt.Sprintf("ring(%d peers, %d points)", len(r.peers), len(r.points))
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testPeers builds an n-node peer list a, b, c, ...
+func testPeers(n int) []Peer {
+	out := make([]Peer, n)
+	for i := range out {
+		id := string(rune('a' + i))
+		out[i] = Peer{ID: id, Addr: "http://node-" + id + ":8337"}
+	}
+	return out
+}
+
+// jobHash mints a realistic job content address from a seed.
+func jobHash(seed int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("job-%d", seed)))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestRingDeterministicAcrossOrderings: every node must compute the same
+// owner for every key regardless of how its -peers flag was ordered.
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	peers := testPeers(5)
+	reversed := make([]Peer, len(peers))
+	for i, p := range peers {
+		reversed[len(peers)-1-i] = p
+	}
+	r1, r2 := newRing(peers), newRing(reversed)
+	for i := 0; i < 500; i++ {
+		h := jobHash(i)
+		o1, o2 := r1.owners(h, 3), r2.owners(h, 3)
+		if len(o1) != 3 || len(o2) != 3 {
+			t.Fatalf("owners(%s) lengths %d/%d, want 3", h[:8], len(o1), len(o2))
+		}
+		for j := range o1 {
+			if o1[j].ID != o2[j].ID {
+				t.Fatalf("key %s: ring order disagrees at rank %d: %s vs %s",
+					h[:8], j, o1[j].ID, o2[j].ID)
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinct: the owner list never repeats a peer and clamps
+// to the cluster size.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := newRing(testPeers(3))
+	for i := 0; i < 200; i++ {
+		owners := r.owners(jobHash(i), 5)
+		if len(owners) != 3 {
+			t.Fatalf("owners clamped to %d, want 3", len(owners))
+		}
+		seen := map[string]bool{}
+		for _, p := range owners {
+			if seen[p.ID] {
+				t.Fatalf("duplicate owner %s for key %d", p.ID, i)
+			}
+			seen[p.ID] = true
+		}
+	}
+}
+
+// TestRingBalance: with vnodes, ownership splits within a loose factor of
+// uniform — no node owns more than twice or less than a third of its fair
+// share over a large key sample.
+func TestRingBalance(t *testing.T) {
+	const keys = 4000
+	peers := testPeers(4)
+	r := newRing(peers)
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.owners(jobHash(i), 1)[0].ID]++
+	}
+	fair := keys / len(peers)
+	for _, p := range peers {
+		if c := counts[p.ID]; c < fair/3 || c > fair*2 {
+			t.Errorf("peer %s owns %d keys, fair share %d (counts: %v)", p.ID, c, fair, counts)
+		}
+	}
+}
+
+// TestRingStableUnderFailover: the successor of every key must be what a
+// ring WITHOUT the owner elects as owner — i.e. skipping a down node
+// reroutes exactly onto consistent-hash successors, moving no other keys.
+func TestRingStableUnderFailover(t *testing.T) {
+	peers := testPeers(4)
+	full := newRing(peers)
+	for i := 0; i < 300; i++ {
+		h := jobHash(i)
+		ranked := full.owners(h, 2)
+		owner, successor := ranked[0], ranked[1]
+		var without []Peer
+		for _, p := range peers {
+			if p.ID != owner.ID {
+				without = append(without, p)
+			}
+		}
+		if got := newRing(without).owners(h, 1)[0]; got.ID != successor.ID {
+			t.Fatalf("key %d: removing owner %s elects %s, but full ring's successor is %s",
+				i, owner.ID, got.ID, successor.ID)
+		}
+	}
+}
+
+// TestKeyPosParsesJobHashes: real job addresses use their own hex prefix
+// as the ring position (uniform by construction), while arbitrary strings
+// still map somewhere instead of failing.
+func TestKeyPosParsesJobHashes(t *testing.T) {
+	h := jobHash(1)
+	want, _ := parseHex16(h[:16])
+	if got := keyPos(h); got != want {
+		t.Errorf("keyPos(%s) = %d, want prefix value %d", h[:16], got, want)
+	}
+	if keyPos("not-a-hash") == 0 && keyPos("x") == 0 {
+		t.Error("malformed keys should still hash to ring positions")
+	}
+}
+
+// parseHex16 is the test-side mirror of keyPos's fast path.
+func parseHex16(s string) (uint64, error) {
+	var v uint64
+	_, err := fmt.Sscanf(s, "%016x", &v)
+	return v, err
+}

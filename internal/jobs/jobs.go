@@ -192,6 +192,12 @@ type Manager struct {
 	preemptCtx context.Context
 	preempt    context.CancelCauseFunc
 
+	// onStored, when set, observes every outcome freshly persisted by this
+	// node (not cache hits, not failures): the cluster layer hangs result
+	// replication off it. Called from the worker goroutine — implementations
+	// must not block (the server's replicator goes async immediately).
+	onStored atomic.Pointer[func(hash string)]
+
 	mu             sync.Mutex
 	sessions       map[uint32]*exp.Session // one simulation session per scale divisor
 	sessionBudget  int64                   // FileBytesBudget for future sessions; 0 = exp default
@@ -431,6 +437,17 @@ func (m *Manager) Degraded() bool {
 	return m.storeErrors.Load()+m.journalErrors.Load() > 0
 }
 
+// SetOnStored installs the freshly-persisted-outcome observer (see the
+// field doc); the cluster layer uses it to start result replication the
+// moment an owner finishes a job. Set it before serving traffic.
+func (m *Manager) SetOnStored(hook func(hash string)) {
+	m.onStored.Store(&hook)
+}
+
+// Store exposes the manager's result store: the cluster layer serves and
+// fills raw, checksummed outcome bytes through it.
+func (m *Manager) Store() *Store { return m.store }
+
 // Job returns the tracked job with the given ID, or nil.
 func (m *Manager) Job(id string) *Job {
 	m.mu.Lock()
@@ -588,6 +605,8 @@ func (m *Manager) runJob(j *Job) {
 		// restarts is worth surfacing but not failing the job over.
 		m.storeErrors.Add(1)
 		log.Printf("jobs: persisting %s: %v", j.Hash, perr)
+	} else if hook := m.onStored.Load(); hook != nil {
+		(*hook)(j.Hash)
 	}
 	m.settle(j, outcome, nil)
 }
@@ -796,6 +815,10 @@ type Metrics struct {
 	// StoreErrors and JournalErrors count failed persistence writes
 	// (outcome files, journal appends). Any non-zero value sets Degraded.
 	StoreErrors, JournalErrors uint64
+	// StoreCorrupt counts result files quarantined after failing checksum
+	// verification (renamed aside with .corrupt; the job re-executes on
+	// its next submission instead of serving bad bytes).
+	StoreCorrupt uint64
 	// Degraded reports compromised persistence: results still serve from
 	// memory, but outcomes or journal records are not reaching disk.
 	Degraded bool
@@ -866,6 +889,7 @@ func (m *Manager) Metrics() Metrics {
 		Requeued:           m.requeued.Load(),
 		StoreErrors:        m.storeErrors.Load(),
 		JournalErrors:      m.journalErrors.Load(),
+		StoreCorrupt:       m.store.Corrupt(),
 		Degraded:           m.storeErrors.Load()+m.journalErrors.Load() > 0,
 		Queued:             m.q.Depth(),
 		Running:            int(m.running.Load()),

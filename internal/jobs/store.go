@@ -1,12 +1,16 @@
 package jobs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grasp/internal/fail"
@@ -45,20 +49,34 @@ type Outcome struct {
 // + rename — the same torn-write discipline as the graph registry's .gcsr
 // sidecars) and fronted by an in-memory map so repeat hits never touch the
 // disk. Safe for concurrent use.
+//
+// Every persisted file carries a SHA-256 of its exact bytes in a
+// <hash>.json.sum sidecar, verified whenever the bytes are read back
+// (boot indexing, sibling-process fill-ins, raw serving for cluster
+// replication). A mismatch quarantines the entry — the file is renamed
+// aside with a .corrupt suffix and counted — so a bit-rotted or tampered
+// result re-executes instead of being served, locally or to a replica
+// (DESIGN.md Sec. 16). A file with no sidecar (written by a pre-checksum
+// daemon, or a crash between the two renames) is trusted once and its
+// sidecar backfilled: the window where corruption is undetectable is one
+// legacy read, not the store's lifetime.
 type Store struct {
-	dir string
-	mu  sync.RWMutex
-	mem map[string]*Outcome
+	dir     string
+	corrupt atomic.Uint64
+	mu      sync.RWMutex
+	mem     map[string]*Outcome
+	sums    map[string]string // hash → hex sha256 of the persisted bytes
 }
 
 // OpenStore opens (creating if needed) the result store rooted at dir and
 // indexes the outcomes already on disk, so a restarted daemon serves its
-// predecessor's results.
+// predecessor's results. Entries failing checksum verification are
+// quarantined, not served.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
-	s := &Store{dir: dir, mem: make(map[string]*Outcome)}
+	s := &Store{dir: dir, mem: make(map[string]*Outcome), sums: make(map[string]string)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
@@ -69,8 +87,9 @@ func OpenStore(dir string) (*Store, error) {
 		if !ok || e.IsDir() {
 			continue
 		}
-		if o := s.readFile(hash); o != nil {
+		if o, sum := s.readFile(hash); o != nil {
 			s.mem[hash] = o
+			s.sums[hash] = sum
 		}
 	}
 	return s, nil
@@ -83,6 +102,10 @@ func (s *Store) Len() int {
 	return len(s.mem)
 }
 
+// Corrupt returns how many entries have been quarantined over the store's
+// lifetime (the jobs_store_corrupt_total counter).
+func (s *Store) Corrupt() uint64 { return s.corrupt.Load() }
+
 // Get returns the stored outcome for hash, or nil if none exists.
 func (s *Store) Get(hash string) *Outcome {
 	s.mu.RLock()
@@ -92,33 +115,100 @@ func (s *Store) Get(hash string) *Outcome {
 		return o
 	}
 	// A sibling process may have written the file after we indexed.
-	if o = s.readFile(hash); o != nil {
+	if o, sum := s.readFile(hash); o != nil {
 		s.mu.Lock()
 		s.mem[hash] = o
+		s.sums[hash] = sum
 		s.mu.Unlock()
+		return o
 	}
-	return o
+	return nil
+}
+
+// GetRaw returns the exact persisted bytes of an outcome with their
+// SHA-256 — the serving shape of cluster replication and checksummed
+// result federation: the bytes on the wire are the bytes on disk, and the
+// receiver re-verifies the digest end to end. The read is verified here
+// too; a corrupt file is quarantined, the in-memory entry dropped, and
+// (false) returned so the caller treats it as a miss and the job
+// re-executes.
+func (s *Store) GetRaw(hash string) (data []byte, sum string, ok bool) {
+	path := s.path(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", false
+	}
+	got := sha256Hex(data)
+	if want, werr := s.readSum(hash); werr == nil && want != got {
+		s.quarantine(hash, fmt.Sprintf("bytes sha256 %s, sidecar records %s", got, want))
+		return nil, "", false
+	}
+	return data, got, true
 }
 
 // Put persists the outcome under its hash. Failures to write the disk copy
 // are returned but the in-memory index is updated regardless, so the
 // running daemon still serves the result.
 func (s *Store) Put(o *Outcome) error {
+	data, merr := json.MarshalIndent(o, "", "  ")
+	if merr == nil {
+		data = append(data, '\n')
+	}
 	s.mu.Lock()
 	s.mem[o.Hash] = o
+	if merr == nil {
+		s.sums[o.Hash] = sha256Hex(data)
+	}
 	s.mu.Unlock()
 	if err := fail.Hit("store.put"); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
-	data, err := json.MarshalIndent(o, "", "  ")
-	if err != nil {
+	if merr != nil {
+		return fmt.Errorf("jobs: %w", merr)
+	}
+	return s.writeVerified(o.Hash, data)
+}
+
+// PutRaw persists pre-serialized outcome bytes verbatim — the receiving
+// half of cluster replication: the caller verified the transfer digest,
+// and writing the same bytes keeps the checksum chain intact across
+// nodes. The bytes must parse as an Outcome whose Hash field matches.
+func (s *Store) PutRaw(hash string, data []byte) error {
+	var o Outcome
+	if err := json.Unmarshal(data, &o); err != nil {
+		return fmt.Errorf("jobs: replicated outcome: %w", err)
+	}
+	if o.Hash != hash {
+		return fmt.Errorf("jobs: replicated outcome self-identifies as %q, want %q", o.Hash, hash)
+	}
+	s.mu.Lock()
+	s.mem[hash] = &o
+	s.sums[hash] = sha256Hex(data)
+	s.mu.Unlock()
+	if err := fail.Hit("store.put"); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
+	return s.writeVerified(hash, data)
+}
+
+// writeVerified writes the outcome bytes and their checksum sidecar, each
+// atomically (temp + rename), data first: a crash between the renames
+// leaves a sum-less file, which the next boot trusts once and backfills —
+// never a sidecar vouching for bytes that were not written.
+func (s *Store) writeVerified(hash string, data []byte) error {
+	if err := s.writeAtomic(s.path(hash), data); err != nil {
+		return err
+	}
+	return s.writeAtomic(s.sumPath(hash), []byte(sha256Hex(data)+"\n"))
+}
+
+// writeAtomic writes path via a temp file and rename.
+func (s *Store) writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".outcome-tmp-*")
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: %w", err)
@@ -127,7 +217,7 @@ func (s *Store) Put(o *Outcome) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(o.Hash)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("jobs: %w", err)
 	}
@@ -140,17 +230,80 @@ func (s *Store) path(hash string) string {
 	return filepath.Join(s.dir, filepath.Base(hash)+".json")
 }
 
-// readFile loads one outcome from disk, returning nil on any failure (a
-// missing or torn file just means a cache miss; Put writes atomically so
-// torn files only arise from external interference).
-func (s *Store) readFile(hash string) *Outcome {
+// sumPath returns the checksum sidecar's location ("<hash>.json.sum" —
+// the suffix keeps it out of the boot index's *.json scan).
+func (s *Store) sumPath(hash string) string { return s.path(hash) + ".sum" }
+
+// readSum loads the recorded checksum for hash from memory or the
+// sidecar file.
+func (s *Store) readSum(hash string) (string, error) {
+	s.mu.RLock()
+	sum, ok := s.sums[hash]
+	s.mu.RUnlock()
+	if ok {
+		return sum, nil
+	}
+	data, err := os.ReadFile(s.sumPath(hash))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// sha256Hex digests data to lowercase hex.
+func sha256Hex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// quarantine moves a corrupt entry aside — <hash>.json becomes
+// <hash>.json.corrupt (preserved for forensics, invisible to the index),
+// its sidecar is removed and the in-memory entry dropped — so the next
+// submission of the spec re-executes instead of serving bad bytes.
+func (s *Store) quarantine(hash, why string) {
+	s.corrupt.Add(1)
+	s.mu.Lock()
+	delete(s.mem, hash)
+	delete(s.sums, hash)
+	s.mu.Unlock()
+	path := s.path(hash)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		// Renaming failed (e.g. read-only disk); removing the sidecar alone
+		// still keeps the entry out of future verified reads.
+		log.Printf("jobs: quarantining %s: %v", hash, err)
+	}
+	os.Remove(s.sumPath(hash))
+	log.Printf("jobs: quarantined corrupt result %s: %s", hash, why)
+}
+
+// readFile loads and verifies one outcome from disk, returning nil on any
+// failure. A missing file is a plain cache miss; a present file whose
+// bytes do not match their recorded checksum, or that no longer parses as
+// its own hash's outcome, is CORRUPTION — quarantined and counted, never
+// served. A file with no checksum sidecar is a legacy or crash-window
+// write: verified structurally (parse + hash match) and its sidecar
+// backfilled.
+func (s *Store) readFile(hash string) (*Outcome, string) {
 	data, err := os.ReadFile(s.path(hash))
 	if err != nil {
-		return nil
+		return nil, ""
+	}
+	sum := sha256Hex(data)
+	want, werr := s.readSum(hash)
+	if werr == nil && want != sum {
+		s.quarantine(hash, fmt.Sprintf("bytes sha256 %s, sidecar records %s", sum, want))
+		return nil, ""
 	}
 	var o Outcome
 	if err := json.Unmarshal(data, &o); err != nil || o.Hash != hash {
-		return nil
+		s.quarantine(hash, "file does not parse as its own outcome")
+		return nil, ""
 	}
-	return &o
+	if werr != nil {
+		// Trusted once; recorded so every later read is verified.
+		if err := s.writeAtomic(s.sumPath(hash), []byte(sum+"\n")); err != nil {
+			log.Printf("jobs: backfilling checksum for %s: %v", hash, err)
+		}
+	}
+	return &o, sum
 }

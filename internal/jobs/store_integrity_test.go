@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shutdownManager drains a manager with a generous deadline.
+func shutdownManager(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// putTestOutcome stores a minimal outcome for a canonicalized spec and
+// returns its hash.
+func putTestOutcome(t *testing.T, s *Store, app string) string {
+	t.Helper()
+	spec := Spec{Kind: KindSingle, Graph: "uni", App: app, Scale: 256}
+	if err := spec.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Outcome{Hash: hash, Spec: spec, Output: "metrics for " + app, Finished: time.Now()}
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	return hash
+}
+
+// TestStoreChecksumSidecar: Put writes a .sum sidecar recording the exact
+// file bytes' digest, and GetRaw returns bytes that match it.
+func TestStoreChecksumSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := putTestOutcome(t, s, "PR")
+
+	sumBytes, err := os.ReadFile(filepath.Join(dir, hash+".json.sum"))
+	if err != nil {
+		t.Fatalf("no checksum sidecar: %v", err)
+	}
+	data, sum, ok := s.GetRaw(hash)
+	if !ok {
+		t.Fatal("GetRaw missed a stored outcome")
+	}
+	if want := strings.TrimSpace(string(sumBytes)); sum != want {
+		t.Errorf("GetRaw sum %s, sidecar %s", sum, want)
+	}
+	if sha256Hex(data) != sum {
+		t.Error("GetRaw bytes do not hash to the returned sum")
+	}
+}
+
+// TestStoreQuarantinesCorruptionOnBoot: a flipped byte in a result file
+// is caught by the next boot's verification — the entry is quarantined
+// (renamed aside, counted) and the store treats the hash as a miss, so
+// the job re-executes instead of serving bad bytes.
+func TestStoreQuarantinesCorruptionOnBoot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := putTestOutcome(t, s, "PR")
+
+	path := filepath.Join(dir, hash+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // bit-rot in the middle of the body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Get(hash); got != nil {
+		t.Error("corrupt outcome was served")
+	}
+	if got := s2.Corrupt(); got != 1 {
+		t.Errorf("corrupt counter = %d, want 1", got)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt file was not preserved aside: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt file still present under its serving name (stat err %v)", err)
+	}
+}
+
+// TestStoreQuarantinesCorruptionOnRead: corruption landing after boot is
+// caught on the next raw read (the replication/serving path) — the entry
+// is dropped everywhere so subsequent Gets re-execute.
+func TestStoreQuarantinesCorruptionOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := putTestOutcome(t, s, "BFS")
+
+	path := filepath.Join(dir, hash+".json")
+	if err := os.WriteFile(path, []byte(`{"hash":"`+hash+`","tampered":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.GetRaw(hash); ok {
+		t.Error("GetRaw served tampered bytes")
+	}
+	if got := s.Corrupt(); got != 1 {
+		t.Errorf("corrupt counter = %d, want 1", got)
+	}
+	if got := s.Get(hash); got != nil {
+		t.Error("tampered outcome still served from memory after quarantine")
+	}
+}
+
+// TestStoreBackfillsLegacySum: a result file with no checksum sidecar (a
+// pre-checksum store, or a crash between the data and sum renames) is
+// trusted once, served, and its sidecar backfilled so later reads verify.
+func TestStoreBackfillsLegacySum(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := putTestOutcome(t, s, "CC")
+	sumPath := filepath.Join(dir, hash+".json.sum")
+	if err := os.Remove(sumPath); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Get(hash); got == nil || got.Output == "" {
+		t.Fatal("legacy (sum-less) outcome was not served")
+	}
+	if _, err := os.Stat(sumPath); err != nil {
+		t.Errorf("checksum sidecar was not backfilled: %v", err)
+	}
+	if got := s2.Corrupt(); got != 0 {
+		t.Errorf("legacy entry counted as corrupt (%d)", got)
+	}
+}
+
+// TestStorePutRawRoundTrip: replicated bytes persist verbatim, reject
+// mismatched self-identification, and serve back with the same digest.
+func TestStorePutRawRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := putTestOutcome(t, src, "PR")
+	data, sum, ok := src.GetRaw(hash)
+	if !ok {
+		t.Fatal("GetRaw missed")
+	}
+
+	dst, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.PutRaw(hash, data); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSum, ok := dst.GetRaw(hash)
+	if !ok || gotSum != sum || string(got) != string(data) {
+		t.Errorf("replicated bytes differ: ok=%v sum match=%v bytes match=%v",
+			ok, gotSum == sum, string(got) == string(data))
+	}
+	if o := dst.Get(hash); o == nil || o.Hash != hash {
+		t.Error("replicated outcome not indexed")
+	}
+	if err := dst.PutRaw("0000", data); err == nil {
+		t.Error("PutRaw accepted bytes self-identifying as a different hash")
+	}
+	if err := dst.PutRaw(hash, []byte("not json")); err == nil {
+		t.Error("PutRaw accepted unparseable bytes")
+	}
+}
+
+// TestCorruptResultReExecutes: end to end through the Manager — a stored
+// result that rots on disk is quarantined at the next boot and the same
+// spec's resubmission runs again (disposition queued, not cached).
+func TestCorruptResultReExecutes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(store, 1)
+	spec := Spec{Kind: KindSingle, Graph: "uni", App: "PR", Policy: "GRASP", Scale: 256}
+	j, disp, err := mgr.Submit(spec, 0)
+	if err != nil || disp != Queued {
+		t.Fatalf("submit: %v %v", disp, err)
+	}
+	<-j.Done()
+	if st := j.Status(); st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	shutdownManager(t, mgr)
+
+	path := filepath.Join(dir, j.Hash+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2 := NewManager(store2, 1)
+	defer shutdownManager(t, mgr2)
+	j2, disp, err := mgr2.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disp != Queued {
+		t.Fatalf("resubmission of corrupted result = %v, want queued (re-execute)", disp)
+	}
+	<-j2.Done()
+	if st := j2.Status(); st.State != StateDone {
+		t.Fatalf("re-execution ended %s: %s", st.State, st.Error)
+	}
+	if got := mgr2.Metrics().StoreCorrupt; got != 1 {
+		t.Errorf("StoreCorrupt metric = %d, want 1", got)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"grasp/internal/jobs"
@@ -26,22 +28,66 @@ import (
 // retrying POST /jobs is safe because jobs are content-addressed — a
 // duplicate submission dedups or hits the result store, never runs twice.
 type Client struct {
-	// Base is the daemon's base URL, e.g. "http://localhost:8337".
+	// Base is the primary daemon base URL, e.g. "http://localhost:8337".
+	// NewClient fills it with the first configured endpoint; a
+	// hand-constructed Client with only Base set behaves exactly as before
+	// multi-endpoint support existed.
 	Base string
 	// HTTP overrides the transport for ALL requests; nil uses the
 	// package's tuned defaults. Overriding disables the long-poll
 	// distinction, so set generous (or zero) timeouts if RunSync is used.
 	HTTP *http.Client
+
+	// bases is the full endpoint rotation (cluster mode hands the client
+	// every node); next indexes the endpoint new requests try first,
+	// advanced whenever an endpoint fails with a transport error or 5xx so
+	// traffic settles on a live node instead of re-discovering the dead one
+	// per call.
+	bases []string
+	next  atomic.Uint32
 }
 
-// NewClient returns a client for the daemon at base (scheme optional;
-// bare host:port gets "http://").
+// NewClient returns a client for the daemon(s) at base: one base URL, or
+// several comma-separated (e.g. "host1:8337,host2:8337" — how a cluster's
+// member list is handed to graspsim -remote). Scheme optional; bare
+// host:port gets "http://". With several endpoints the client rotates to
+// the next on transport errors and 5xx responses; jobs being
+// content-addressed makes resubmitting through a different node safe.
 func NewClient(base string) *Client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var bases []string
+	for _, b := range strings.Split(base, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !strings.Contains(b, "://") {
+			b = "http://" + b
+		}
+		bases = append(bases, strings.TrimRight(b, "/"))
 	}
-	return &Client{Base: strings.TrimRight(base, "/")}
+	if len(bases) == 0 {
+		bases = []string{"http://"}
+	}
+	return &Client{Base: bases[0], bases: bases}
 }
+
+// endpoints returns the rotation set (a bare Client{Base: ...} literal
+// still works: its single endpoint is Base).
+func (c *Client) endpoints() []string {
+	if len(c.bases) > 0 {
+		return c.bases
+	}
+	return []string{c.Base}
+}
+
+// base returns the endpoint new requests should try first.
+func (c *Client) base() string {
+	eps := c.endpoints()
+	return eps[int(c.next.Load())%len(eps)]
+}
+
+// rotate advances the rotation past a failed endpoint.
+func (c *Client) rotate() { c.next.Add(1) }
 
 // newTransport builds an http.Transport with bounded connect and TLS
 // handshake phases; responseHeader bounds the wait for response HEADERS
@@ -126,44 +172,76 @@ func retryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
-// do issues one JSON request with retries. body is re-marshaled bytes
-// (safe to resend); out receives the decoded success body.
-func (c *Client) do(method, path string, body []byte, out any, long bool) error {
+// do issues one JSON request with retries and endpoint rotation. body is
+// re-marshaled bytes (safe to resend); out receives the decoded success
+// body. Each backoff round tries every configured endpoint once —
+// transport errors and 5xx responses rotate to the next endpoint
+// immediately (another node can often serve what this one cannot), while
+// the sleeps between rounds honor the largest Retry-After hint seen. A
+// canceled ctx returns at once, both mid-request and mid-backoff: a
+// wait=true long poll whose caller gives up must not burn the rest of the
+// retry schedule against a job nobody is waiting for.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, long bool) error {
+	eps := c.endpoints()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		var reqBody io.Reader
-		if body != nil {
-			reqBody = bytes.NewReader(body)
-		}
-		req, err := http.NewRequest(method, c.Base+path, reqBody)
-		if err != nil {
-			return err
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := c.httpClient(long).Do(req)
+		sawTransient := false
 		var retryAfter time.Duration
-		if err == nil {
-			if !retryableStatus(resp.StatusCode) {
+		for range eps {
+			var reqBody io.Reader
+			if body != nil {
+				reqBody = bytes.NewReader(body)
+			}
+			req, err := http.NewRequestWithContext(ctx, method, c.base()+path, reqBody)
+			if err != nil {
+				return err
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := c.httpClient(long).Do(req)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err() // caller hung up, not a daemon failure
+				}
+				lastErr = err
+				sawTransient = true
+				c.rotate()
+				continue
+			}
+			switch {
+			case retryableStatus(resp.StatusCode):
+				if ra := parseRetryAfter(resp); ra > retryAfter {
+					retryAfter = ra
+				}
+				lastErr = decodeResponse(resp, nil)
+				sawTransient = true
+				c.rotate()
+			case resp.StatusCode >= http.StatusInternalServerError && len(eps) > 1:
+				// Another node may succeed where this one 5xx'd; rotate to
+				// it this round, but a 5xx alone does not buy more backoff
+				// rounds — if every endpoint 5xx's, the failure is real.
+				lastErr = decodeResponse(resp, nil)
+				c.rotate()
+			default:
 				return decodeResponse(resp, out)
 			}
-			retryAfter = parseRetryAfter(resp)
-			lastErr = decodeResponse(resp, nil)
-		} else {
-			lastErr = err
 		}
-		if attempt >= retryMax {
+		if !sawTransient || attempt >= retryMax {
 			return lastErr
 		}
-		time.Sleep(backoffDelay(attempt, retryAfter))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoffDelay(attempt, retryAfter)):
+		}
 	}
 }
 
 // Submit posts a job and returns its accepted status without waiting.
 func (c *Client) Submit(spec jobs.Spec, priority int) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority}, &out, false)
+	err := c.post(context.Background(), "/jobs", SubmitRequest{Spec: spec, Priority: priority}, &out, false)
 	return out, err
 }
 
@@ -172,8 +250,15 @@ func (c *Client) Submit(spec jobs.Spec, priority int) (SubmitResponse, error) {
 // call holds its connection open for the duration of the simulation (no
 // response-header timeout applies).
 func (c *Client) RunSync(spec jobs.Spec, priority int) (*jobs.Outcome, error) {
+	return c.RunSyncContext(context.Background(), spec, priority)
+}
+
+// RunSyncContext is RunSync bounded by a caller context: canceling ctx
+// abandons the long poll immediately — including any backoff sleep the
+// retry loop is in — instead of riding out the full retry schedule.
+func (c *Client) RunSyncContext(ctx context.Context, spec jobs.Spec, priority int) (*jobs.Outcome, error) {
 	var out jobs.Outcome
-	if err := c.post("/jobs", SubmitRequest{Spec: spec, Priority: priority, Wait: true}, &out, true); err != nil {
+	if err := c.post(ctx, "/jobs", SubmitRequest{Spec: spec, Priority: priority, Wait: true}, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -191,7 +276,7 @@ func (c *Client) Job(id string) (jobs.Status, error) {
 // asynchronously — poll Job until it leaves the running state.
 func (c *Client) Cancel(id string) (jobs.Status, error) {
 	var out jobs.Status
-	err := c.do(http.MethodDelete, "/jobs/"+id, nil, &out, false)
+	err := c.do(context.Background(), http.MethodDelete, "/jobs/"+id, nil, &out, false)
 	return out, err
 }
 
@@ -224,17 +309,17 @@ func (c *Client) WaitJob(id string, interval time.Duration, onPoll func(jobs.Sta
 }
 
 // post sends a JSON body and decodes a JSON response into out.
-func (c *Client) post(path string, body, out any, long bool) error {
+func (c *Client) post(ctx context.Context, path string, body, out any, long bool) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, path, data, out, long)
+	return c.do(ctx, http.MethodPost, path, data, out, long)
 }
 
 // get decodes a JSON response into out.
 func (c *Client) get(path string, out any) error {
-	return c.do(http.MethodGet, path, nil, out, false)
+	return c.do(context.Background(), http.MethodGet, path, nil, out, false)
 }
 
 // decodeResponse maps non-2xx responses to errors (surfacing the daemon's

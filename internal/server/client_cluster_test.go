@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grasp/internal/jobs"
+)
+
+// countingMock is an httptest daemon stub that counts requests and
+// answers with a fixed status (200 sends an empty JSON object, which
+// decodes into any response type).
+func countingMock(t *testing.T, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if status != http.StatusOK {
+			w.WriteHeader(status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte("{}"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestClientRotatesOn5xx: with several endpoints, a 500 from the first
+// rotates to the next within the same round, and later calls start from
+// the endpoint that worked.
+func TestClientRotatesOn5xx(t *testing.T) {
+	bad, badHits := countingMock(t, http.StatusInternalServerError)
+	good, goodHits := countingMock(t, http.StatusOK)
+	c := NewClient(bad.URL + "," + good.URL)
+
+	if _, err := c.Submit(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := badHits.Load(); got != 1 {
+		t.Errorf("failing endpoint got %d requests, want 1", got)
+	}
+	if _, err := c.Submit(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := badHits.Load(); got != 1 {
+		t.Errorf("failing endpoint got %d requests after rotation, want still 1", got)
+	}
+	if got := goodHits.Load(); got != 2 {
+		t.Errorf("healthy endpoint got %d requests, want 2", got)
+	}
+}
+
+// TestClientRotatesOnTransportError: a dead endpoint (closed listener)
+// rotates to a live one instead of failing the call.
+func TestClientRotatesOnTransportError(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	good, goodHits := countingMock(t, http.StatusOK)
+
+	c := NewClient(deadURL + "," + good.URL)
+	start := time.Now()
+	if _, err := c.Submit(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("rotation took %v; a dead endpoint must fail fast, not wait out retries", d)
+	}
+	if got := goodHits.Load(); got != 1 {
+		t.Errorf("healthy endpoint got %d requests, want 1", got)
+	}
+}
+
+// TestClientSingleEndpoint5xxNotRetried: with ONE endpoint the
+// pre-rotation semantics hold — a plain 500 is a terminal error, not a
+// reason to burn the backoff schedule.
+func TestClientSingleEndpoint5xxNotRetried(t *testing.T) {
+	bad, badHits := countingMock(t, http.StatusInternalServerError)
+	c := NewClient(bad.URL)
+	if _, err := c.Submit(jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0); err == nil {
+		t.Fatal("500 from the only endpoint must surface as an error")
+	}
+	if got := badHits.Load(); got != 1 {
+		t.Errorf("endpoint got %d requests, want 1 (no retry on non-transient 5xx)", got)
+	}
+}
+
+// TestClientCancelDuringLongPoll: canceling the context of a wait=true
+// submission that is blocked on the server returns immediately.
+func TestClientCancelDuringLongPoll(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read can notice the
+		// client disconnect and cancel the request context.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // hang until the client gives up
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewClient(ts.URL).RunSyncContext(ctx, jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancel took %v to surface, want immediate", d)
+	}
+}
+
+// TestClientCancelDuringBackoff: a context canceled while the retry loop
+// sleeps (here pinned long by a Retry-After hint) interrupts the sleep —
+// the fix for long polls burning the full backoff schedule after the
+// caller hung up.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewClient(ts.URL).RunSyncContext(ctx, jobs.Spec{Kind: jobs.KindSingle, Graph: "uni"}, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancel mid-backoff took %v, want immediate (Retry-After floor was 30s)", d)
+	}
+}

@@ -1,0 +1,419 @@
+package server
+
+// Three-node cluster harness: every node is a full graspd stack (store →
+// manager → HTTP server) on its own httptest listener, wired into one
+// static ring. The listeners are allocated BEFORE any server starts so
+// each node's -peers view can name every address up front, exactly like a
+// deployment's static config. These tests run under -race in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"grasp/internal/cluster"
+	"grasp/internal/fail"
+	"grasp/internal/jobs"
+)
+
+type clusterNode struct {
+	id  string
+	ts  *httptest.Server
+	srv *Server
+	mgr *jobs.Manager
+	cli *Client
+}
+
+type testCluster struct {
+	nodes []*clusterNode
+}
+
+// bootCluster starts an n-node cluster with fast probes and a short
+// hedge delay.
+func bootCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tss := make([]*httptest.Server, n)
+	peers := make([]cluster.Peer, n)
+	for i := range tss {
+		tss[i] = httptest.NewUnstartedServer(http.NotFoundHandler())
+		peers[i] = cluster.Peer{
+			ID:   fmt.Sprintf("n%d", i),
+			Addr: "http://" + tss[i].Listener.Addr().String(),
+		}
+	}
+	tc := &testCluster{}
+	for i := range tss {
+		store, err := jobs.OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := jobs.NewManager(store, 1)
+		cl, err := cluster.New(cluster.Config{
+			Self:          peers[i].ID,
+			Peers:         peers,
+			ProbeInterval: 20 * time.Millisecond,
+			ProbeTimeout:  time.Second,
+			DownAfter:     2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewWith(mgr, Options{Cluster: cl, HedgeDelay: 25 * time.Millisecond})
+		tss[i].Config.Handler = srv
+		tss[i].Start()
+		tc.nodes = append(tc.nodes, &clusterNode{
+			id: peers[i].ID, ts: tss[i], srv: srv, mgr: mgr, cli: NewClient(tss[i].URL),
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range tc.nodes {
+			nd.srv.DrainReplication()
+			nd.srv.Cluster().Stop()
+			nd.ts.Close() // idempotent: tests that killed a node already closed it
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			nd.mgr.Shutdown(ctx)
+			cancel()
+		}
+	})
+	return tc
+}
+
+// node returns the member with the given ID.
+func (tc *testCluster) node(id string) *clusterNode {
+	for _, nd := range tc.nodes {
+		if nd.id == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+// specOwnedBy mints a cheap single-graph spec whose hash is owned by
+// wantOwner and — when avoid is set — whose replica holder set excludes
+// avoid, by scanning scale divisors (scale is part of the content
+// address, so each divisor is a fresh hash).
+func (tc *testCluster) specOwnedBy(t *testing.T, wantOwner, avoid string) (jobs.Spec, string) {
+	t.Helper()
+	cl := tc.nodes[0].srv.Cluster()
+	for scale := uint32(200); scale < 10000; scale++ {
+		spec := jobs.Spec{Kind: jobs.KindSingle, Graph: "uni", Scale: scale}
+		if err := spec.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		hash, err := spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := cl.Owners(hash, cl.ReplicationFactor())
+		if owners[0].ID != wantOwner {
+			continue
+		}
+		excluded := true
+		for _, p := range owners {
+			if p.ID == avoid {
+				excluded = false
+			}
+		}
+		if avoid != "" && !excluded {
+			continue
+		}
+		return spec, hash
+	}
+	t.Fatal("no spec found with the requested ownership")
+	return jobs.Spec{}, ""
+}
+
+// TestClusterForwardsToOwnerAndReplicates: a submission through a
+// non-owning node executes on the hash's owner, and the completed result
+// replicates to the successor — the ingress node, which holds no replica,
+// stores nothing.
+func TestClusterForwardsToOwnerAndReplicates(t *testing.T) {
+	tc := bootCluster(t, 3)
+	ingress := tc.nodes[0]
+	spec, hash := tc.specOwnedBy(t, "n1", ingress.id)
+	owner, successor := tc.node("n1"), tc.node("n2")
+
+	out, err := ingress.cli.RunSync(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hash != hash {
+		t.Fatalf("outcome hash %s, want %s", out.Hash, hash)
+	}
+	if got := owner.mgr.Metrics().Executed; got != 1 {
+		t.Errorf("owner executed %d jobs, want 1", got)
+	}
+	if got := ingress.mgr.Metrics().Executed; got != 0 {
+		t.Errorf("ingress executed %d jobs, want 0 (it must forward)", got)
+	}
+	if got := ingress.srv.forwarded.Load(); got != 1 {
+		t.Errorf("ingress forwarded counter = %d, want 1", got)
+	}
+
+	owner.srv.DrainReplication()
+	ownData, ownSum, ok := owner.mgr.Store().GetRaw(hash)
+	if !ok {
+		t.Fatal("owner did not persist the outcome")
+	}
+	repData, repSum, ok := successor.mgr.Store().GetRaw(hash)
+	if !ok {
+		t.Fatal("successor holds no replica")
+	}
+	if repSum != ownSum || string(repData) != string(ownData) {
+		t.Error("replica bytes differ from the owner's")
+	}
+	if _, _, ok := ingress.mgr.Store().GetRaw(hash); ok {
+		t.Error("non-holder ingress node stored a copy")
+	}
+}
+
+// TestClusterOwnerDownFailover: with the owning node dead (listener
+// closed — the SIGKILL shape), a submission through a survivor fails over
+// to the successor and completes there.
+func TestClusterOwnerDownFailover(t *testing.T) {
+	tc := bootCluster(t, 3)
+	ingress := tc.nodes[0]
+	// Owner n2, holders {n2, n1}: ingress n0 is not in the replica set, so
+	// the failover target is deterministically n1.
+	spec, hash := tc.specOwnedBy(t, "n2", ingress.id)
+	tc.node("n2").ts.Close()
+
+	out, err := ingress.cli.RunSync(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hash != hash {
+		t.Fatalf("outcome hash %s, want %s", out.Hash, hash)
+	}
+	if got := tc.node("n1").mgr.Metrics().Executed; got != 1 {
+		t.Errorf("successor executed %d jobs, want 1", got)
+	}
+	if got := ingress.srv.failovers.Load(); got == 0 {
+		t.Error("ingress recorded no failover past the dead owner")
+	}
+}
+
+// TestClusterPartitionDedupAndHeal: with the owner partitioned by
+// failpoints, two different nodes' submissions of the same spec both fail
+// over to the successor and JOIN — one execution cluster-wide. After the
+// partition heals, the completed result replicates back to the owner.
+func TestClusterPartitionDedupAndHeal(t *testing.T) {
+	defer fail.Reset()
+	tc := bootCluster(t, 3)
+	// A seconds-long experiment job, so the second submission arrives while
+	// the first is still executing.
+	spec := jobs.Spec{Kind: jobs.KindExperiment, Exp: "fig9", Scale: 64}
+	if err := spec.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := tc.nodes[0].srv.Cluster()
+	owners := cl.Owners(hash, cl.ReplicationFactor())
+	owner := tc.node(owners[0].ID)
+	successor := tc.node(owners[1].ID)
+	var others []*clusterNode
+	for _, nd := range tc.nodes {
+		if nd.id != owner.id {
+			others = append(others, nd)
+		}
+	}
+
+	// Partition the owner: its forwards fail and every node's prober marks
+	// it down (failpoints are process-wide, which in this one-process
+	// harness IS the symmetric partition).
+	fail.Arm("cluster.forward."+owner.id, nil)
+	fail.Arm("cluster.probe."+owner.id, nil)
+
+	first, err := others[0].cli.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := others[1].cli.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Disposition != jobs.Deduped && second.Disposition != jobs.Cached {
+		t.Errorf("second submission disposition = %v, want deduped (or cached if the race lost)", second.Disposition)
+	}
+	if second.Disposition == jobs.Deduped && second.ID != first.ID {
+		t.Errorf("deduped submission joined job %s, first was %s", second.ID, first.ID)
+	}
+	if got := owner.mgr.Metrics().Submitted; got != 0 {
+		t.Errorf("partitioned owner saw %d submissions, want 0", got)
+	}
+
+	// The job landed on the successor; wait for it there.
+	st, err := successor.cli.WaitJob(first.ID, 10*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if got := successor.mgr.Metrics().Executed; got != 1 {
+		t.Errorf("successor executed %d jobs, want exactly 1 (dedup must join)", got)
+	}
+
+	// Heal. Replication targets ring placement, so the owner receives its
+	// copy on the completion-time notify.
+	fail.Reset()
+	successor.srv.DrainReplication()
+	if _, _, ok := owner.mgr.Store().GetRaw(hash); !ok {
+		t.Error("healed owner holds no replica of the result produced during the partition")
+	}
+}
+
+// TestClusterHopGuard: a request already carrying the forwarded header is
+// NEVER forwarded again, even by a node that does not own its hash — the
+// property that makes routing loop-free under ring disagreement.
+func TestClusterHopGuard(t *testing.T) {
+	tc := bootCluster(t, 3)
+	nonOwner := tc.nodes[0]
+	spec, _ := tc.specOwnedBy(t, "n1", "")
+
+	body, err := json.Marshal(SubmitRequest{Spec: spec, Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, nonOwner.ts.URL+"/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Graspd-Forwarded", "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded submit answered %s", resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+	if got := nonOwner.mgr.Metrics().Executed; got != 1 {
+		t.Errorf("guarded node executed %d jobs, want 1 (locally, no second hop)", got)
+	}
+	if got := tc.node("n1").mgr.Metrics().Executed; got != 0 {
+		t.Errorf("owner executed %d jobs, want 0 (the hop guard must stop re-forwarding)", got)
+	}
+	if got := nonOwner.srv.forwarded.Load(); got != 0 {
+		t.Errorf("guarded node forwarded %d requests, want 0", got)
+	}
+}
+
+// TestClusterReplicaServesVerifiedRead: with the owner dead, a
+// non-holding node's GET /results federates the outcome from the replica
+// and serves it with a checksum header that matches the body.
+func TestClusterReplicaServesVerifiedRead(t *testing.T) {
+	tc := bootCluster(t, 3)
+	reader := tc.nodes[0]
+	spec, hash := tc.specOwnedBy(t, "n1", reader.id) // holders {n1, n2}
+	owner, replica := tc.node("n1"), tc.node("n2")
+
+	if _, err := owner.cli.RunSync(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	owner.srv.DrainReplication()
+	if _, _, ok := replica.mgr.Store().GetRaw(hash); !ok {
+		t.Fatal("replica holds no copy before the owner dies")
+	}
+	owner.ts.Close()
+
+	resp, err := http.Get(reader.ts.URL + "/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("federated read answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resp.Header.Get("X-Graspd-Result-Sha256")
+	if want == "" {
+		t.Fatal("federated response carries no checksum header")
+	}
+	if got := sha256Hex(data); got != want {
+		t.Fatalf("body hashes to %s, header says %s", got, want)
+	}
+	var o jobs.Outcome
+	if err := json.Unmarshal(data, &o); err != nil || o.Hash != hash {
+		t.Fatalf("federated body is not the outcome for %s: %v", hash, err)
+	}
+	// The reader is not in the hash's holder set: federation must serve
+	// without planting an off-placement copy.
+	if _, _, ok := reader.mgr.Store().GetRaw(hash); ok {
+		t.Error("non-holder cache-filled a federated result")
+	}
+}
+
+// TestClusterCacheFillRepairsReplica: a holder that missed the original
+// replication (notify failpointed) repairs itself on its first federated
+// read — pull, verify, persist.
+func TestClusterCacheFillRepairsReplica(t *testing.T) {
+	defer fail.Reset()
+	tc := bootCluster(t, 3)
+	spec, hash := tc.specOwnedBy(t, "n1", "n0") // holders {n1, n2}
+	owner, replica := tc.node("n1"), tc.node("n2")
+
+	fail.Arm("cluster.replicate", nil)
+	if _, err := owner.cli.RunSync(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	owner.srv.DrainReplication()
+	if _, _, ok := replica.mgr.Store().GetRaw(hash); ok {
+		t.Fatal("replication happened despite the armed failpoint")
+	}
+	if got := owner.srv.replErrors.Load(); got == 0 {
+		t.Error("owner recorded no replication errors")
+	}
+	fail.Reset()
+
+	if _, err := replica.cli.Result(hash); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := replica.mgr.Store().GetRaw(hash); !ok {
+		t.Error("holder did not cache-fill the federated result")
+	}
+	if got := replica.srv.cacheFills.Load(); got != 1 {
+		t.Errorf("cache fills = %d, want 1", got)
+	}
+}
+
+// TestClusterStatusEndpoint: /cluster names every member, and ?hash=
+// reports the routing verdict the smoke test kills by.
+func TestClusterStatusEndpoint(t *testing.T) {
+	tc := bootCluster(t, 3)
+	_, hash := tc.specOwnedBy(t, "n2", "")
+	resp, err := http.Get(tc.nodes[0].ts.URL + "/cluster?hash=" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Self     string           `json:"self"`
+		Members  []cluster.Status `json:"members"`
+		Owner    string           `json:"owner"`
+		Replicas []string         `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Self != "n0" || len(body.Members) != 3 {
+		t.Errorf("self=%s members=%d, want n0 with 3 members", body.Self, len(body.Members))
+	}
+	if body.Owner != "n2" || len(body.Replicas) != 2 {
+		t.Errorf("owner=%s replicas=%v, want n2 with 2 replicas", body.Owner, body.Replicas)
+	}
+}

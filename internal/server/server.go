@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"grasp/internal/cluster"
 	"grasp/internal/jobs"
 )
 
@@ -52,6 +54,18 @@ type Options struct {
 	// RetryAfter is the hint sent with 429 and 503 responses; 0 defaults
 	// to 1 second.
 	RetryAfter time.Duration
+	// Cluster, when non-nil, turns on sharded job routing (DESIGN.md
+	// Sec. 16): POST /jobs forwards to the hash's owning node with failover
+	// to its successors, completed results replicate to the successor, and
+	// GET /results federates misses from replica holders with hedged,
+	// checksum-verified fetches. Nil (the default) is single-node mode —
+	// every request is served locally, byte-identically to pre-cluster
+	// builds.
+	Cluster *cluster.Cluster
+	// HedgeDelay is how long a federated result read waits on the first
+	// holder before also asking the next one (default 150ms). The first
+	// verified response wins.
+	HedgeDelay time.Duration
 }
 
 // Server handles graspd's REST endpoints. Create with New or NewWith; it
@@ -63,6 +77,21 @@ type Server struct {
 	lim         *limiter
 	retryAfter  time.Duration
 	rateLimited atomic.Uint64
+
+	// Cluster mode (nil cl = single node; see internal/server/cluster.go).
+	cl          *cluster.Cluster
+	hedge       time.Duration
+	fwdShort    *http.Client // forwarded non-wait submissions, fetches
+	fwdLong     *http.Client // forwarded wait=true submissions (unbounded)
+	replWG      sync.WaitGroup
+	forwarded   atomic.Uint64
+	failovers   atomic.Uint64
+	replicated  atomic.Uint64
+	replErrors  atomic.Uint64
+	fetches     atomic.Uint64
+	fetchErrors atomic.Uint64
+	hedged      atomic.Uint64
+	cacheFills  atomic.Uint64
 }
 
 // New wires the endpoints over the manager with no rate limiting.
@@ -86,6 +115,9 @@ func NewWith(mgr *jobs.Manager, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Cluster != nil {
+		s.enableCluster(opts.Cluster, opts.HedgeDelay)
+	}
 	return s
 }
 
@@ -108,7 +140,14 @@ const maxSubmitBody = 1 << 20
 
 // handleSubmit implements POST /jobs.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.lim != nil && !s.lim.allow(clientKey(r.RemoteAddr), time.Now()) {
+	// Forwarded requests (hop guard header set by a peer's router) skip the
+	// per-client rate limit — the originating node already charged its
+	// client — and are NEVER re-forwarded, so divergent ring views cannot
+	// bounce a submission between nodes. Only cluster mode honors the
+	// header; a single node ignores it, so it cannot be forged to dodge
+	// the rate limit there.
+	isForwarded := s.cl != nil && r.Header.Get(forwardedHeader) != ""
+	if !isForwarded && s.lim != nil && !s.lim.allow(clientKey(r.RemoteAddr), time.Now()) {
 		s.rateLimited.Add(1)
 		s.retryableError(w, http.StatusTooManyRequests, errors.New("submission rate limit exceeded"))
 		return
@@ -123,6 +162,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		httpError(w, code, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	if s.cl != nil && !isForwarded && s.routeSubmit(w, r, &req) {
 		return
 	}
 	j, disp, err := s.mgr.Submit(req.Spec, req.Priority)
@@ -211,11 +253,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Status())
 }
 
-// handleResult implements GET /results/{hash}.
+// handleResult implements GET /results/{hash}. In cluster mode a local
+// hit serves the verified persisted bytes with their checksum header; a
+// local miss federates to the hash's replica holders (hedged,
+// checksum-verified) before answering 404. Single-node mode keeps the
+// pre-cluster rendering byte for byte.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	o := s.mgr.Result(r.PathValue("hash"))
+	hash := r.PathValue("hash")
+	if s.cl != nil {
+		if data, sum, ok := s.mgr.Store().GetRaw(hash); ok {
+			writeRawResult(w, data, sum)
+			return
+		}
+		// A degraded store (disk write failed) still serves from memory.
+		if o := s.mgr.Result(hash); o != nil {
+			writeJSON(w, http.StatusOK, o)
+			return
+		}
+		if s.federateResult(w, r, hash) {
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("no stored result for %q on any replica", hash))
+		return
+	}
+	o := s.mgr.Result(hash)
 	if o == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no stored result for %q", r.PathValue("hash")))
+		httpError(w, http.StatusNotFound, fmt.Errorf("no stored result for %q", hash))
 		return
 	}
 	writeJSON(w, http.StatusOK, o)
@@ -280,6 +343,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("jobs_shed_total", "Submissions rejected at the queue-depth limit.", m.Shed)
 	counter("jobs_requeued_total", "Journaled jobs re-enqueued by crash recovery at boot.", m.Requeued)
 	counter("jobs_store_errors_total", "Failed result-store disk writes.", m.StoreErrors)
+	counter("jobs_store_corrupt_total", "Result files quarantined after failing checksum verification.", m.StoreCorrupt)
 	counter("jobs_journal_errors_total", "Failed journal appends.", m.JournalErrors)
 	counter("rate_limited_total", "Submissions rejected by the per-client rate limit.", s.rateLimited.Load())
 	counter("sim_runs_total", "Distinct sim.Run invocations across all sessions.", m.SimRuns)
@@ -307,6 +371,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("degraded", "1 when any persistence write has failed (store or journal).", degraded)
 	gauge("workers", "Worker pool size (concurrency bound).", float64(s.mgr.Workers()))
 	gauge("uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+	if s.cl != nil {
+		s.writeClusterMetrics(w, counter)
+	}
 }
 
 // writeJSON writes v with the given status code.

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — node-kill failover smoke for a 3-node graspd cluster.
+#
+# Boots three local daemons sharing one static -peers list, submits a job
+# through node A, asks /cluster?hash= which node owns it, SIGKILLs that
+# owner mid-run (no drain — the failure the ring exists for), resubmits
+# through a survivor with wait=true (the forward fails over to the
+# successor; content addressing makes the re-execution safe), and finally
+# reads the result from the OTHER survivor, verifying the body's sha256
+# against the X-Graspd-Result-Sha256 header end-to-end. This is the
+# process-level check behind DESIGN.md Sec. 16; the unit-level pieces
+# live in internal/cluster and internal/server/cluster_e2e_test.go.
+#
+# Usage: scripts/cluster_smoke.sh            # ports 18440-18442
+#        PORT=19000 scripts/cluster_smoke.sh # ports 19000-19002
+set -euo pipefail
+
+PORT="${PORT:-18440}"
+WORK="$(mktemp -d)"
+IDS=(a b c)
+PORTS=("${PORT}" "$((PORT + 1))" "$((PORT + 2))")
+PIDS=("" "" "")
+PEERS="a=http://localhost:${PORTS[0]},b=http://localhost:${PORTS[1]},c=http://localhost:${PORTS[2]}"
+SPEC='{"kind":"experiment","exp":"fig2","scale":64}'
+
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        [ -n "${pid}" ] && kill -9 "${pid}" 2>/dev/null || true
+    done
+    for pid in "${PIDS[@]}"; do
+        [ -n "${pid}" ] && wait "${pid}" 2>/dev/null || true
+    done
+    rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+say() { echo "cluster_smoke: $*"; }
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        if curl -sf "http://localhost:$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    say "daemon on port $1 never became healthy"
+    return 1
+}
+
+say "building graspd"
+go build -o "${WORK}/graspd" ./cmd/graspd
+
+for i in 0 1 2; do
+    say "booting node ${IDS[$i]} on :${PORTS[$i]}"
+    "${WORK}/graspd" -addr ":${PORTS[$i]}" -data "${WORK}/data-${IDS[$i]}" \
+        -workers 1 -node-id "${IDS[$i]}" -peers "${PEERS}" \
+        -probe-interval 250ms \
+        >"${WORK}/node-${IDS[$i]}.log" 2>&1 &
+    PIDS[$i]=$!
+done
+for i in 0 1 2; do wait_healthy "${PORTS[$i]}"; done
+
+say "submitting job through node a (async)"
+RESP="$(curl -sf "http://localhost:${PORTS[0]}/jobs" -d "${SPEC}")"
+HASH="$(echo "${RESP}" | grep -o '"hash": "[0-9a-f]*"' | head -1 | grep -o '[0-9a-f]\{64\}')"
+if [ -z "${HASH}" ]; then
+    say "no hash in submit response: ${RESP}"
+    exit 1
+fi
+say "accepted as ${HASH}"
+
+OWNER="$(curl -sf "http://localhost:${PORTS[0]}/cluster?hash=${HASH}" |
+    grep -o '"owner": "[a-z]*"' | grep -o '"[a-z]*"$' | tr -d '"')"
+if [ -z "${OWNER}" ]; then
+    say "could not determine the owner from /cluster?hash=${HASH}"
+    exit 1
+fi
+say "ring says node ${OWNER} owns ${HASH}"
+
+OWNER_IDX=""
+for i in 0 1 2; do
+    [ "${IDS[$i]}" = "${OWNER}" ] && OWNER_IDX=$i
+done
+SURVIVORS=()
+for i in 0 1 2; do
+    [ "$i" != "${OWNER_IDX}" ] && SURVIVORS+=("$i")
+done
+
+say "SIGKILLing owner ${OWNER} mid-run (pid ${PIDS[$OWNER_IDX]})"
+kill -9 "${PIDS[$OWNER_IDX]}"
+wait "${PIDS[$OWNER_IDX]}" 2>/dev/null || true
+PIDS[$OWNER_IDX]=""
+
+SUB=${SURVIVORS[0]}
+READER=${SURVIVORS[1]}
+say "resubmitting through survivor ${IDS[$SUB]} with wait=true (forward fails over)"
+WAIT_SPEC="$(echo "${SPEC}" | sed 's/}$/,"wait":true}/')"
+if ! curl -sf --max-time 180 "http://localhost:${PORTS[$SUB]}/jobs" -d "${WAIT_SPEC}" >/dev/null; then
+    say "FAIL: wait=true resubmission through ${IDS[$SUB]} did not complete"
+    say "--- node ${IDS[$SUB]} log ---"; cat "${WORK}/node-${IDS[$SUB]}.log"
+    exit 1
+fi
+
+say "reading the result from the other survivor ${IDS[$READER]} (checksum-verified)"
+for i in $(seq 1 100); do
+    if curl -sf -D "${WORK}/headers" -o "${WORK}/body" \
+        "http://localhost:${PORTS[$READER]}/results/${HASH}"; then
+        WANT="$(grep -i '^x-graspd-result-sha256:' "${WORK}/headers" | tr -d '\r' | awk '{print $2}')"
+        GOT="$(sha256sum "${WORK}/body" | awk '{print $1}')"
+        if [ -z "${WANT}" ]; then
+            say "FAIL: result served without an X-Graspd-Result-Sha256 header"
+            exit 1
+        fi
+        if [ "${WANT}" != "${GOT}" ]; then
+            say "FAIL: result body sha256 ${GOT} != header ${WANT}"
+            exit 1
+        fi
+        say "PASS: survivor ${IDS[$READER]} served ${HASH}, checksum verified (after $((i / 10)).$((i % 10))s)"
+        exit 0
+    fi
+    sleep 0.1
+done
+say "FAIL: result ${HASH} never appeared on survivor ${IDS[$READER]}"
+for id in "${IDS[@]}"; do
+    say "--- node ${id} log ---"; cat "${WORK}/node-${id}.log" 2>/dev/null || true
+done
+exit 1
